@@ -1,0 +1,32 @@
+# Convenience targets for the Altocumulus reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench artifacts examples smoke clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Full-scale regeneration of every paper artifact (30-45 min).
+artifacts:
+	$(PYTHON) -m repro.experiments.cli all --out results/
+
+## Quick regeneration at reduced scale (~5 min).
+smoke:
+	$(PYTHON) -m repro.experiments.cli all --scale 0.1 --out results/
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's figures/tables through the
+experiment registry, times it with pytest-benchmark (single round: these
+are minutes-scale simulations, not microbenchmarks), saves the rendered
+table under ``results/`` and asserts the figure's headline qualitative
+property.
+
+Scale factors are tuned so the full suite finishes in minutes; run the
+``altocumulus-exp`` CLI at scale 1.0 for the fully-sized reproduction.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment under the benchmark timer and persist it."""
+
+    def runner(exp_id, scale, seed=1):
+        result = benchmark.pedantic(
+            lambda: get_experiment(exp_id)(scale=scale, seed=seed),
+            rounds=1,
+            iterations=1,
+        )
+        result.save(RESULTS_DIR)
+        return result
+
+    return runner

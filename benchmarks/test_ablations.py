@@ -1,0 +1,39 @@
+"""Ablation benches: isolate each Altocumulus design choice."""
+
+
+def test_ablations(run_experiment):
+    result = run_experiment("ablations", scale=0.25)
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    # Threshold trade-off (Sec. IV): the conservative k*L+1 bound
+    # migrates the least but misses violations that the lower
+    # thresholds (model, aggressive) catch.
+    assert (rows[("threshold", "upper_bound")][4]
+            < rows[("threshold", "model")][4])
+    assert (rows[("threshold", "upper_bound")][4]
+            < rows[("threshold", "aggressive_fixed")][4])
+    assert (rows[("threshold", "upper_bound")][3]
+            >= rows[("threshold", "model")][3])
+
+    # At-most-once (Sec. V-B opt. 4): unbounded re-migration adds hops
+    # without materially improving the tail.
+    once = rows[("remigration", "at_most_once")]
+    unbounded = rows[("remigration", "unbounded")]
+    assert unbounded[5] >= once[5]
+    assert once[2] <= unbounded[2] * 1.5 + 1.0
+
+    # Messaging: hardware registers never lose to shared-cache software
+    # messaging by more than noise (same decisions, cheaper transport).
+    assert (rows[("messaging", "hw_registers")][2]
+            <= rows[("messaging", "sw_caches")][2] * 1.5 + 1.0)
+
+    # Local JBSQ depth: every bound conserves and completes the run.
+    for bound in (1, 2, 4):
+        assert rows[("worker_bound", f"jbsq({bound})")][2] > 0
+
+    # NoC fidelity: scheduling traffic is light enough that modelling
+    # per-link contention changes nothing material -- verifying the
+    # paper's lightly-loaded-NoC assumption [58].
+    ideal = rows[("noc", "ideal_links")]
+    contended = rows[("noc", "contended_links")]
+    assert contended[2] <= ideal[2] * 1.2 + 0.5  # p99 within 20%

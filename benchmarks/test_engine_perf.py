@@ -1,0 +1,41 @@
+"""Performance benchmarks for the simulation substrate itself.
+
+These are true microbenchmarks (multiple rounds): they track the event
+throughput of the DES kernel and the end-to-end simulation rate of a
+loaded system, so regressions in the hot paths show up in the benchmark
+history rather than as mysteriously slow experiment runs.
+"""
+
+from repro.api import quick_run
+from repro.sim.engine import Simulator
+
+
+def test_event_heap_throughput(benchmark):
+    """Raw schedule/fire cost of the event kernel."""
+
+    def spin():
+        sim = Simulator()
+        count = 20_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1.0, chain, remaining - 1)
+
+        chain(count)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(spin)
+    assert events == 20_000
+
+
+def test_full_system_simulation_rate(benchmark):
+    """Requests simulated per wall-second through the busiest system
+    (Altocumulus with migrations active)."""
+
+    def run():
+        return quick_run(system="altocumulus", n_cores=32, rate_rps=20e6,
+                         mean_service_ns=1000, n_requests=5_000, seed=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.latency.count > 0

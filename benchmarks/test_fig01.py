@@ -1,0 +1,14 @@
+"""Regenerate Fig. 1: on-CPU latency split (processing vs scheduling)."""
+
+
+def test_fig01_stack_latency(run_experiment):
+    result = run_experiment("fig01", scale=0.3)
+    by_stack = {row[0]: row for row in result.rows}
+    # Total on-CPU latency shrinks dramatically across stack generations.
+    assert by_stack["tcpip"][3] > 10 * by_stack["erpc"][3]
+    assert by_stack["erpc"][3] > 5 * by_stack["nanorpc"][3]
+    # ...while the *scheduling share* of that latency grows: the paper's
+    # thesis that the bottleneck moved from processing to scheduling.
+    shares = [by_stack[s][4] for s in ("tcpip", "erpc", "nanorpc")]
+    assert shares == sorted(shares)
+    assert shares[-1] > 0.4

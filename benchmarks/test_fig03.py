@@ -1,0 +1,12 @@
+"""Regenerate Fig. 3: throughput cost of scheduling overhead."""
+
+
+def test_fig03_scheduling_overhead(run_experiment):
+    result = run_experiment("fig03", scale=0.2)
+    at_slo = result.series["throughput_at_slo"]
+    # Sustainable load falls monotonically with overhead...
+    overheads = sorted(at_slo)
+    loads = [at_slo[o] for o in overheads]
+    assert all(a >= b for a, b in zip(loads, loads[1:]))
+    # ...and 5 ns vs 360 ns is a multi-x difference (paper: ~3x).
+    assert at_slo[5.0] >= 1.8 * at_slo[360.0]

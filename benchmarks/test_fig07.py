@@ -1,0 +1,27 @@
+"""Regenerate Fig. 7: SLO-violation prediction analysis."""
+
+import math
+
+
+def test_fig07_prediction(run_experiment):
+    result = run_experiment("fig07", scale=0.3)
+    t_lower = result.series["t_lower"]
+    t_upper = 641.0  # 64 * 10 + 1
+
+    # (1) Violations exist and begin at moderate occupancy -- well below
+    # the naive k*L+1 threshold -- for the dispersive distribution.
+    assert math.isfinite(t_lower["bimodal"])
+    assert t_lower["bimodal"] < 0.8 * t_upper
+
+    # (2) Violation ratio rises with queue length: for each distribution
+    # the deepest populated bin violates more than the shallowest.
+    by_dist = {}
+    for dist, _load, lo, _hi, _n, ratio in result.rows:
+        by_dist.setdefault(dist, []).append((lo, ratio))
+    for dist, bins in by_dist.items():
+        bins.sort()
+        assert bins[-1][1] >= bins[0][1]
+        assert bins[-1][1] > 0.5  # deep queues mostly violate
+
+    # (3) The Eq. 2 calibration ran and reports a finite fit.
+    assert "Eq.2 fit" in result.notes

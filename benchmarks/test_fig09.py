@@ -1,0 +1,12 @@
+"""Regenerate Fig. 9: temporal load imbalance across NetRX queues."""
+
+
+def test_fig09_imbalance(run_experiment):
+    result = run_experiment("fig09", scale=0.3)
+    spreads = {row[0]: row[5] for row in result.rows}
+    # Every load-oblivious policy leaves a visible queue-length spread...
+    assert all(spread > 0 for spread in spreads.values())
+    # ...and flow-hash steering is by far the most skewed (hot flows
+    # pin to one queue), as in the paper's 'Connection' bars.
+    assert spreads["connection"] > spreads["round_robin"]
+    assert spreads["connection"] > spreads["random"]

@@ -1,0 +1,22 @@
+"""Regenerate Fig. 10: the seven-system latency-throughput comparison."""
+
+
+def test_fig10_comparison(run_experiment):
+    result = run_experiment("fig10", scale=0.15)
+    at_slo = result.series["throughput_at_slo_mrps"]
+
+    # The paper's qualitative ordering under the dispersive bimodal mix
+    # with SLO below the long service time:
+    # IX (d-FCFS, kernel stack) never meets the SLO...
+    assert at_slo["ix"] <= at_slo["zygos"]
+    # ...work stealing helps but cannot preempt...
+    assert at_slo["zygos"] <= at_slo["shinjuku"] + 0.5
+    # ...and the hardware schedulers sit at the top.
+    top = max(at_slo.values())
+    assert at_slo["nanopu"] >= 0.8 * top
+    assert at_slo["nebula"] >= 0.8 * top
+    # Altocumulus lands in the hardware class (within its 12.5% manager
+    # sacrifice), far above the software baselines.
+    assert at_slo["ac_rss"] >= 0.6 * top
+    if at_slo["zygos"] > 0:
+        assert at_slo["ac_rss"] >= at_slo["zygos"]

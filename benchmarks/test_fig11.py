@@ -1,0 +1,26 @@
+"""Regenerate Fig. 11: migration Bulk and Period sensitivity."""
+
+
+def test_fig11_parameters(run_experiment):
+    result = run_experiment("fig11", scale=0.2)
+    rows = {(row[0], row[1]): row for row in result.rows}
+    baseline_violations = rows[("no_migration", "-")][2]
+    baseline_p99 = rows[("no_migration", "-")][3]
+
+    # Migration slashes SLO violations vs the no-migration baseline at
+    # every Bulk setting (Fig. 11a's message).
+    for bulk in (8, 16, 24, 32, 40):
+        row = rows[("bulk_sweep", bulk)]
+        assert row[2] < baseline_violations
+        assert row[3] <= baseline_p99 + 1.0
+
+    # Period is forgiving across 10-400 ns; only the laziest setting may
+    # lose ground (Fig. 11b): no short period does worse than 1000 ns
+    # by more than noise.
+    fast = min(rows[("period_sweep", p)][2] for p in (10.0, 40.0, 100.0, 200.0))
+    lazy = rows[("period_sweep", 1000.0)][2]
+    assert fast <= lazy + max(3, int(0.2 * baseline_violations))
+
+    # More migrated descriptors with shorter periods (more decision
+    # opportunities).
+    assert rows[("period_sweep", 10.0)][4] >= rows[("period_sweep", 1000.0)][4]

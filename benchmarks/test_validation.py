@@ -1,0 +1,14 @@
+"""Gate the simulator against closed-form queueing theory."""
+
+
+def test_queueing_validation(run_experiment):
+    result = run_experiment("validation", scale=0.6)
+    for model, k, rho, predicted, measured, rel_error in result.rows:
+        assert rel_error < 0.15, (
+            f"{model} (k={k}, rho={rho}): predicted {predicted:.0f} ns, "
+            f"measured {measured:.0f} ns, error {rel_error:.1%}"
+        )
+    # The variance ordering must hold: M/D/1 waits ~half of M/M/1,
+    # and the dispersive M/G/1 dwarfs both.
+    waits = {row[0]: row[4] for row in result.rows}
+    assert waits["M/D/1"] < waits["M/M/1"] < waits["M/G/1"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate an RPC server under load and read its tail.
+
+Runs the same Poisson / exponential-service workload through a commodity
+RSS d-FCFS server and through Altocumulus, and prints the latency
+distribution of each -- the one-minute tour of the library.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_run
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    n_cores = 16
+    rate_rps = 10e6  # 10 MRPS offered
+    mean_service_ns = 1_000.0  # 1 us RPC handlers
+
+    rows = []
+    for system in ("rss", "zygos", "shinjuku", "nebula", "altocumulus"):
+        result = quick_run(
+            system=system,
+            n_cores=n_cores,
+            rate_rps=rate_rps,
+            mean_service_ns=mean_service_ns,
+            n_requests=40_000,
+            seed=1,
+        )
+        rows.append(
+            [
+                system,
+                result.latency.p50 / 1000.0,
+                result.latency.p99 / 1000.0,
+                result.throughput_rps / 1e6,
+                result.utilization,
+            ]
+        )
+
+    print(
+        format_table(
+            ["system", "p50_us", "p99_us", "throughput_mrps", "utilization"],
+            rows,
+            title=f"{n_cores} cores, {rate_rps / 1e6:.0f} MRPS offered, "
+            f"{mean_service_ns:.0f} ns mean service",
+        )
+    )
+    print(
+        "\nReading the table: d-FCFS (rss) shows the worst tail among the\n"
+        "stable systems because a busy core's queue cannot be drained by\n"
+        "idle peers; work stealing (zygos) closes most of that gap; the\n"
+        "hardware schedulers (nebula, altocumulus) add almost nothing on\n"
+        "top of raw service time.  Shinjuku is saturated outright: 10 MRPS\n"
+        "offered exceeds its ~5 MRPS centralized-dispatcher ceiling -- the\n"
+        "scalability wall that motivates decentralized designs."
+    )
+
+
+if __name__ == "__main__":
+    main()

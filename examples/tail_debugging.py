@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Debugging a latency tail with per-request timelines.
+
+Percentiles tell you a tail exists; timelines tell you *why*.  This
+example runs an RSS d-FCFS server under a dispersive workload, attaches
+a :class:`~repro.analysis.timeline.TimelineRecorder` through the
+completion hook, and prints the life of the slowest requests -- which
+turn out (predictably) to be shorts that queued behind a long request
+on a hashed-hot core.
+
+Usage::
+
+    python examples/tail_debugging.py
+"""
+
+from repro.analysis.timeline import TimelineRecorder
+from repro.api import run_workload
+from repro.schedulers.rss import RssSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.service import Bimodal
+
+
+def main() -> None:
+    sim, streams = Simulator(), RandomStreams(31)
+    system = RssSystem(sim, streams, 8)
+    recorder = TimelineRecorder(max_requests=100_000)
+    system.completion_hooks.append(recorder.record_lifecycle)
+
+    service = Bimodal(500.0, 200_000.0, 0.005)  # 0.5% x 200 us longs
+    result = run_workload(
+        system, sim, streams,
+        PoissonArrivals(0.6 * 8 / service.mean * 1e9), service,
+        n_requests=30_000,
+    )
+    print(f"p50 = {result.latency.p50 / 1000:.2f} us, "
+          f"p99 = {result.latency.p99 / 1000:.2f} us, "
+          f"max = {result.latency.maximum / 1000:.2f} us\n")
+    print("The three slowest requests, step by step:\n")
+    for timeline in recorder.slowest(3):
+        print(timeline.render())
+        print()
+    print(
+        "Reading the timelines: each victim enqueued behind a deep queue\n"
+        "(see queue_len at 'enqueued') and only 'started' after the long\n"
+        "request ahead of it drained -- head-of-line blocking, the\n"
+        "pathology every scheduler in this repository beyond plain RSS\n"
+        "exists to fix."
+    )
+
+
+if __name__ == "__main__":
+    main()

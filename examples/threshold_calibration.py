@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Calibrating the SLO-violation threshold model (the paper's offline
+component, Sec. IV / Fig. 7d).
+
+1. Simulate a c-FCFS server across a band of near-saturation loads.
+2. Record, per load, the queue length at which the first SLO violation
+   arrived (T_lower).
+3. Least-squares fit the Eq. 2 linear transformation of the Erlang-C
+   expected queue length.
+4. Plug the fitted model into an Altocumulus config and show the
+   runtime-computed thresholds.
+
+Usage::
+
+    python examples/threshold_calibration.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.api import run_workload
+from repro.core.config import AltocumulusConfig
+from repro.core.prediction import (
+    calibrate_threshold_model,
+    expected_queue_length,
+    first_violation_threshold,
+)
+from repro.schedulers.jbsq import ideal_cfcfs
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.service import Fixed
+
+K = 32  # cores
+SERVICE_NS = 1_000.0
+L = 3.0  # calibration SLO multiplier (see EXPERIMENTS.md)
+LOADS = [0.95, 0.97, 0.985, 0.995]
+
+
+def measure_t_lower(load: float, seed: int) -> float:
+    sim, streams = Simulator(), RandomStreams(seed)
+    system = ideal_cfcfs(sim, streams, K)
+    result = run_workload(
+        system, sim, streams,
+        PoissonArrivals(load * K / SERVICE_NS * 1e9), Fixed(SERVICE_NS),
+        n_requests=120_000, warmup_fraction=0.05,
+    )
+    slo_ns = L * SERVICE_NS
+    qlens = [r.queue_len_at_arrival for r in result.requests]
+    violated = [r.latency > slo_ns for r in result.requests]
+    t, count = first_violation_threshold(qlens, violated)
+    print(f"  load {load:.3f}: {count:5d} violations, T_lower = {t:.0f}")
+    return t
+
+
+def main() -> None:
+    print(f"Measuring first-violation thresholds ({K}-core c-FCFS, L={L:g}):")
+    measured = {load: measure_t_lower(load, seed=41 + i)
+                for i, load in enumerate(LOADS)}
+    finite = {a: t for a, t in measured.items() if t != float("inf")}
+    model = calibrate_threshold_model(
+        [a * K for a in finite], list(finite.values()), K, name="example"
+    )
+    print(f"\nEq. 2 fit: E[T] = {model.a:.3f} * E[Nq] + {model.b:.1f}")
+
+    rows = []
+    for load in LOADS:
+        nq = expected_queue_length(K, load * K)
+        rows.append([load, nq, measured[load], model.threshold(K, load * K)])
+    print(format_table(
+        ["load", "erlang_E[Nq]", "T_measured", "T_model"],
+        rows,
+        title="Measured vs modelled thresholds",
+    ))
+
+    config = AltocumulusConfig(
+        n_groups=4, group_size=8, threshold_model=model, slo_multiplier=L
+    )
+    print(
+        "\nThe fitted model now drives an AltocumulusConfig: at the "
+        "runtime's estimated\nload it yields the migration threshold each "
+        f"manager compares its NetRX against\n(config: {config.n_groups} "
+        f"groups x {config.group_size} cores, model "
+        f"a={config.threshold_model.a:.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e .` works in offline environments
+that lack the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Altocumulus reproduction: scalable scheduling for nanosecond-scale RPCs.
+
+A full Python reimplementation of the MICRO 2022 paper "ALTOCUMULUS:
+Scalable Scheduling for Nanosecond-Scale Remote Procedure Calls" (Zhao
+et al.), built on a discrete-event simulation of a multicore RPC server.
+
+Quick start::
+
+    from repro import quick_run
+
+    result = quick_run(system="altocumulus", n_cores=16,
+                       rate_rps=2e6, n_requests=20_000)
+    print(result.latency.p99 / 1000, "us p99")
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harnesses.
+"""
+
+from repro.api import SimulationResult, build_system, quick_run, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_system",
+    "quick_run",
+    "run_workload",
+    "SimulationResult",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Measurement and reporting: latency statistics, throughput@SLO,
+SLO-violation accounting, the migration-effectiveness breakdown of
+Fig. 12, and plain-text table rendering for the benchmark harness.
+"""
+
+from repro.analysis.metrics import LatencySummary, summarize_latencies
+from repro.analysis.slo import (
+    SloPolicy,
+    find_throughput_at_slo,
+    prediction_accuracy,
+    violation_ratio,
+)
+from repro.analysis.effectiveness import (
+    EffectivenessBreakdown,
+    MigrationClass,
+    classify_migrations,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.ascii_plot import bar_chart, line_chart
+from repro.analysis.timeline import RequestTimeline, TimelineRecorder
+from repro.analysis.validation import validate_simulator
+from repro.analysis.stats import confidence_interval, overlapping, seed_sweep
+
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "SloPolicy",
+    "find_throughput_at_slo",
+    "violation_ratio",
+    "prediction_accuracy",
+    "MigrationClass",
+    "EffectivenessBreakdown",
+    "classify_migrations",
+    "format_table",
+    "bar_chart",
+    "line_chart",
+    "TimelineRecorder",
+    "RequestTimeline",
+    "validate_simulator",
+    "confidence_interval",
+    "seed_sweep",
+    "overlapping",
+]

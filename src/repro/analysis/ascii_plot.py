@@ -1,0 +1,105 @@
+"""Terminal-friendly ASCII charts.
+
+The reproduction environment has no plotting stack, so the experiment
+harness renders its "figures" as tables plus these ASCII charts: a
+scatter/line canvas for latency-throughput curves and a horizontal bar
+chart for the grouped-bar figures (Figs. 11-13).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_label(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render multiple (x, y) series on one ASCII canvas.
+
+    Each series gets a marker from a fixed cycle; a legend maps markers
+    back to names.  ``log_y`` plots log10(y), the natural scale for
+    tail-latency curves.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    if log_y and any(y <= 0 for _, y in points):
+        raise ValueError("log_y requires strictly positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [x for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = _nice_label(10**y_hi if log_y else y_hi)
+    y_bot = _nice_label(10**y_lo if log_y else y_lo)
+    lines.append(f"{y_label}{' (log)' if log_y else ''}: "
+                 f"{y_bot} .. {y_top}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {_nice_label(x_lo)} .. {_nice_label(x_hi)}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart of name -> value."""
+    if not values:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bars must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(name) for name in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * int(round(value / peak * width))
+        lines.append(
+            f"{name.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{_nice_label(value)}{unit}"
+        )
+    return "\n".join(lines)

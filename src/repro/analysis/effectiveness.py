@@ -1,0 +1,98 @@
+"""Migration-effectiveness breakdown (Sec. VIII-D / Fig. 12).
+
+Every migrated request carries a counterfactual: the completion time it
+was headed for when the runtime pulled it off the source queue
+(``no_migration_eta``).  Crossing that against the actual outcome gives
+the paper's four classes:
+
+=====================  ==========================  =======================
+class                  without migration           with migration
+=====================  ==========================  =======================
+``EFF``                would violate SLO           meets SLO  (saved!)
+``INEFF_NO_HARM``      meets SLO                   meets SLO  (wasted move,
+                                                   but queueing reduced)
+``INEFF_NO_BENEFIT``   would violate               still violates
+``FALSE``              meets SLO                   violates (harmful!)
+=====================  ==========================  =======================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.workload.request import Request
+
+
+class MigrationClass(enum.Enum):
+    """The four-way outcome classes of Sec. VIII-D."""
+    EFF = "eff"
+    INEFF_NO_HARM = "ineff_no_harm"
+    INEFF_NO_BENEFIT = "ineff_no_benefit"
+    FALSE = "false"
+
+
+@dataclass
+class EffectivenessBreakdown:
+    """Counts of migrated requests per class."""
+
+    counts: Dict[MigrationClass, int] = field(
+        default_factory=lambda: {c: 0 for c in MigrationClass}
+    )
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def ratio(self, cls: MigrationClass) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts[cls] / self.total
+
+    @property
+    def effective_ratio(self) -> float:
+        """The paper's headline: Eff. / all migrated."""
+        return self.ratio(MigrationClass.EFF)
+
+    @property
+    def false_count(self) -> int:
+        return self.counts[MigrationClass.FALSE]
+
+    def as_dict(self) -> Dict[str, int]:
+        return {c.value: n for c, n in self.counts.items()}
+
+
+def classify_one(request: Request, slo_ns: float) -> MigrationClass:
+    """Classify a single migrated request."""
+    if request.no_migration_eta is None:
+        raise ValueError(
+            f"request {request.req_id} has no counterfactual; was it migrated?"
+        )
+    if not request.completed:
+        raise ValueError(f"request {request.req_id} has not completed")
+    would_violate = (request.no_migration_eta - request.arrival) > slo_ns
+    did_violate = request.latency > slo_ns
+    if would_violate and not did_violate:
+        return MigrationClass.EFF
+    if not would_violate and not did_violate:
+        return MigrationClass.INEFF_NO_HARM
+    if would_violate and did_violate:
+        return MigrationClass.INEFF_NO_BENEFIT
+    return MigrationClass.FALSE
+
+
+def classify_migrations(
+    requests: Iterable[Request], slo_ns: float
+) -> EffectivenessBreakdown:
+    """Break down every migrated, completed request in a run."""
+    breakdown = EffectivenessBreakdown()
+    for r in requests:
+        if r.migrations > 0 and r.completed and not r.dropped:
+            breakdown.counts[classify_one(r, slo_ns)] += 1
+    return breakdown
+
+
+def migrated_requests(requests: Iterable[Request]) -> List[Request]:
+    """The subset of a run's requests that experienced migration."""
+    return [r for r in requests if r.migrations > 0]

@@ -1,0 +1,89 @@
+"""Latency statistics.
+
+The paper's headline metric is the 99th percentile (Sec. II-A); all
+summaries here report exact empirical percentiles over the completed
+requests of a run (no streaming approximation -- runs are finite and
+the tail is what matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Empirical latency summary of one run (all values in ns)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ns": self.mean,
+            "p50_ns": self.p50,
+            "p90_ns": self.p90,
+            "p99_ns": self.p99,
+            "p999_ns": self.p999,
+            "max_ns": self.maximum,
+        }
+
+
+def latencies_of(requests: Iterable[Request]) -> np.ndarray:
+    """Latency array (ns) over completed, non-dropped requests."""
+    return np.array(
+        [r.latency for r in requests if r.completed and not r.dropped], dtype=float
+    )
+
+
+def summarize_latencies(requests: Sequence[Request]) -> LatencySummary:
+    """Exact percentile summary of a request population."""
+    lat = latencies_of(requests)
+    if lat.size == 0:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=int(lat.size),
+        mean=float(lat.mean()),
+        p50=float(np.percentile(lat, 50)),
+        p90=float(np.percentile(lat, 90)),
+        p99=float(np.percentile(lat, 99)),
+        p999=float(np.percentile(lat, 99.9)),
+        maximum=float(lat.max()),
+    )
+
+
+def percentile(requests: Sequence[Request], q: float) -> float:
+    """One latency percentile (ns) over completed requests."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0,100], got {q}")
+    lat = latencies_of(requests)
+    if lat.size == 0:
+        raise ValueError("no completed requests to summarize")
+    return float(np.percentile(lat, q))
+
+
+def achieved_throughput_rps(requests: Sequence[Request]) -> float:
+    """Completed requests per second over the span of the run."""
+    done: List[Request] = [r for r in requests if r.completed]
+    if len(done) < 2:
+        return 0.0
+    start = min(r.arrival for r in done)
+    end = max(r.finished for r in done)  # type: ignore[type-var]
+    if end <= start:
+        return 0.0
+    return len(done) / (end - start) * 1e9

@@ -1,0 +1,130 @@
+"""Per-request event timelines (opt-in telemetry).
+
+When chasing a tail-latency mystery, percentiles are not enough -- you
+want to see *one slow request's life*: when it was steered, how long it
+sat in the NetRX, whether it migrated, which worker ran it.  This
+module provides a lightweight recorder that systems (or user code) can
+feed events into, keyed by request id, plus rendering helpers.
+
+It is deliberately decoupled from the systems: you attach it through
+the hooks that already exist (``completion_hooks``, request factories,
+or manual ``record`` calls in custom policies), so zero cost is paid
+when tracing is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped step in a request's life."""
+
+    time_ns: float
+    what: str
+    detail: str = ""
+
+
+@dataclass
+class RequestTimeline:
+    """All recorded events of one request, in insertion order."""
+
+    req_id: int
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def add(self, time_ns: float, what: str, detail: str = "") -> None:
+        self.events.append(TimelineEvent(time_ns, what, detail))
+
+    @property
+    def span_ns(self) -> float:
+        if len(self.events) < 2:
+            return 0.0
+        return self.events[-1].time_ns - self.events[0].time_ns
+
+    def render(self) -> str:
+        """Human-readable listing with inter-event deltas."""
+        lines = [f"request #{self.req_id} ({self.span_ns:.0f} ns total)"]
+        previous: Optional[float] = None
+        for event in self.events:
+            delta = "" if previous is None else f" (+{event.time_ns - previous:.0f})"
+            detail = f"  {event.detail}" if event.detail else ""
+            lines.append(f"  {event.time_ns:12.1f} ns{delta:>12s}  "
+                         f"{event.what}{detail}")
+            previous = event.time_ns
+        return "\n".join(lines)
+
+
+class TimelineRecorder:
+    """Collects timelines for a (bounded) set of requests.
+
+    ``watch`` limits recording to specific request ids; without it,
+    everything is recorded up to ``max_requests`` (memory guard).
+    """
+
+    def __init__(self, max_requests: int = 10_000,
+                 watch: Optional[set] = None) -> None:
+        if max_requests <= 0:
+            raise ValueError("max_requests must be positive")
+        self.max_requests = int(max_requests)
+        self.watch = watch
+        self._timelines: Dict[int, RequestTimeline] = {}
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def _timeline(self, req_id: int) -> Optional[RequestTimeline]:
+        if self.watch is not None and req_id not in self.watch:
+            return None
+        timeline = self._timelines.get(req_id)
+        if timeline is None:
+            if len(self._timelines) >= self.max_requests:
+                self.dropped += 1
+                return None
+            timeline = RequestTimeline(req_id)
+            self._timelines[req_id] = timeline
+        return timeline
+
+    def record(self, req_id: int, time_ns: float, what: str,
+               detail: str = "") -> None:
+        timeline = self._timeline(req_id)
+        if timeline is not None:
+            timeline.add(time_ns, what, detail)
+
+    def record_lifecycle(self, request: Request) -> None:
+        """Back-fill the standard lifecycle from a completed request's
+        timestamps (arrival / enqueued / started / finished plus
+        migration count) -- the one-call integration for completion
+        hooks."""
+        timeline = self._timeline(request.req_id)
+        if timeline is None:
+            return
+        timeline.add(request.arrival, "nic_arrival")
+        if request.enqueued is not None:
+            timeline.add(request.enqueued, "enqueued",
+                         f"queue_len={request.queue_len_at_arrival}")
+        if request.migrations:
+            timeline.add(request.enqueued or request.arrival, "migrated",
+                         f"hops={request.migrations}")
+        if request.started is not None:
+            timeline.add(request.started, "started",
+                         f"core={request.core_id}")
+        if request.finished is not None:
+            timeline.add(request.finished, "finished",
+                         f"latency={request.latency:.0f}ns")
+
+    # ------------------------------------------------------------------
+    def get(self, req_id: int) -> Optional[RequestTimeline]:
+        return self._timelines.get(req_id)
+
+    def slowest(self, n: int = 5) -> List[RequestTimeline]:
+        """The n longest-spanning recorded timelines (tail suspects)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return sorted(self._timelines.values(),
+                      key=lambda t: -t.span_ns)[:n]
+
+    def __len__(self) -> int:
+        return len(self._timelines)

@@ -1,0 +1,198 @@
+"""The public facade: build a system, run a workload, get measurements.
+
+This module is the supported entry point for downstream users.  It hides
+the wiring (simulator + RNG streams + NIC + scheduler + load generator)
+behind three calls:
+
+* :func:`build_system` -- construct any scheduler by name.
+* :func:`run_workload` -- drive a workload through a system and return a
+  :class:`SimulationResult`.
+* :func:`quick_run` -- one-call convenience for the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    achieved_throughput_rps,
+    summarize_latencies,
+)
+from repro.analysis.slo import violation_ratio
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.nic import PcieDelivery
+from repro.schedulers.base import RpcSystem
+from repro.schedulers.centralized import ShinjukuSystem
+from repro.schedulers.jbsq import ideal_cfcfs, nanopu, nebula, rpcvalet
+from repro.schedulers.rss import IxSystem, RssSystem
+from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
+from repro.schedulers.work_stealing import ZygosSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.connections import ConnectionPool
+from repro.workload.generator import LoadGenerator
+from repro.workload.request import Request
+from repro.workload.service import Exponential, ServiceDistribution
+
+#: A very long horizon; runs normally stop on request-count completion.
+_MAX_HORIZON_NS = 10**15
+
+
+@dataclass
+class SimulationResult:
+    """Everything a caller needs after one run."""
+
+    system_name: str
+    requests: Sequence[Request]
+    latency: LatencySummary
+    throughput_rps: float
+    offered_rps: float
+    sim_time_ns: float
+    utilization: float
+    dropped: int
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: The system instance, for post-run introspection (e.g. the
+    #: Altocumulus ``predicted_ids`` set feeding prediction accuracy).
+    system: Optional[RpcSystem] = None
+
+    def violation_ratio(self, slo_ns: float) -> float:
+        """Fraction of measured requests exceeding ``slo_ns``."""
+        return violation_ratio(self.requests, slo_ns)
+
+
+SystemFactory = Callable[[Simulator, RandomStreams, int], RpcSystem]
+
+_BUILDERS: Dict[str, SystemFactory] = {}
+
+
+def register_system(name: str, factory: SystemFactory) -> None:
+    """Register a custom system under ``name`` for :func:`build_system`."""
+    if name in _BUILDERS:
+        raise ValueError(f"system {name!r} is already registered")
+    _BUILDERS[name] = factory
+
+
+def _register_defaults() -> None:
+    c = DEFAULT_CONSTANTS
+    _BUILDERS.update(
+        {
+            "rss": lambda s, r, n: RssSystem(s, r, n, delivery=PcieDelivery(c)),
+            "rsspp": lambda s, r, n: RssPlusPlusSystem(
+                s, r, n, delivery=PcieDelivery(c)
+            ),
+            "ix": lambda s, r, n: IxSystem(s, r, n, delivery=PcieDelivery(c)),
+            "zygos": lambda s, r, n: ZygosSystem(s, r, n, delivery=PcieDelivery(c)),
+            "shinjuku": lambda s, r, n: ShinjukuSystem(
+                s, r, n, delivery=PcieDelivery(c)
+            ),
+            "rpcvalet": lambda s, r, n: rpcvalet(s, r, n),
+            "nebula": lambda s, r, n: nebula(s, r, n),
+            "nanopu": lambda s, r, n: nanopu(s, r, n),
+            "cfcfs": lambda s, r, n: ideal_cfcfs(s, r, n),
+            "altocumulus": lambda s, r, n: AltocumulusSystem(
+                s, r, _default_ac_config(n)
+            ),
+        }
+    )
+
+
+def _default_ac_config(n_cores: int) -> AltocumulusConfig:
+    """Split ``n_cores`` into 16-core groups (the paper's tuned size)."""
+    if n_cores % 16 == 0 and n_cores > 16:
+        return AltocumulusConfig(n_groups=n_cores // 16, group_size=16)
+    return AltocumulusConfig(n_groups=1, group_size=n_cores)
+
+
+def available_systems() -> Sequence[str]:
+    """Names accepted by :func:`build_system`."""
+    return sorted(_BUILDERS)
+
+
+def build_system(
+    name: str,
+    sim: Simulator,
+    streams: RandomStreams,
+    n_cores: int,
+) -> RpcSystem:
+    """Construct a registered scheduling system."""
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"unknown system {name!r}; available: {', '.join(available_systems())}"
+        )
+    return _BUILDERS[name](sim, streams, n_cores)
+
+
+def run_workload(
+    system: RpcSystem,
+    sim: Simulator,
+    streams: RandomStreams,
+    arrivals: ArrivalProcess,
+    service: ServiceDistribution,
+    n_requests: int,
+    warmup_fraction: float = 0.1,
+    connections: Optional[ConnectionPool] = None,
+    request_factory: Optional[Callable[[Request], None]] = None,
+    size_bytes: int = 300,
+) -> SimulationResult:
+    """Drive a workload through ``system`` to completion and measure it."""
+    generator = LoadGenerator(
+        sim,
+        streams,
+        arrivals,
+        service,
+        sink=system.offer,
+        n_requests=n_requests,
+        size_bytes=size_bytes,
+        connections=connections,
+        request_factory=request_factory,
+        warmup_fraction=warmup_fraction,
+    )
+    system.expect(n_requests)
+    generator.start()
+    sim.run(until=_MAX_HORIZON_NS)
+    system.shutdown()
+    measured = generator.measured_requests()
+    return SimulationResult(
+        system_name=system.name,
+        requests=measured,
+        latency=summarize_latencies(measured),
+        throughput_rps=achieved_throughput_rps(measured),
+        offered_rps=arrivals.mean_rate * 1e9,
+        sim_time_ns=sim.now,
+        utilization=system.utilization(sim.now),
+        dropped=system.stats.dropped,
+        extra=dict(system.stats.extra),
+        system=system,
+    )
+
+
+def quick_run(
+    system: str = "altocumulus",
+    n_cores: int = 16,
+    rate_rps: float = 1e6,
+    mean_service_ns: float = 1000.0,
+    n_requests: int = 50_000,
+    seed: int = 1,
+    service: Optional[ServiceDistribution] = None,
+) -> SimulationResult:
+    """One-call simulation: Poisson arrivals, exponential service by
+    default, 10% warmup discarded."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    built = build_system(system, sim, streams, n_cores)
+    return run_workload(
+        built,
+        sim,
+        streams,
+        arrivals=PoissonArrivals(rate_rps),
+        service=service or Exponential(mean_service_ns),
+        n_requests=n_requests,
+    )
+
+
+_register_defaults()

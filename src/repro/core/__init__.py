@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the Altocumulus scheduling system.
+
+Components (Fig. 5):
+
+* :mod:`repro.core.prediction` -- the offline Erlang-C model (Eqs. 1-2)
+  that turns system load into an SLO-violation threshold ``T``.
+* :mod:`repro.core.patterns` -- Hill / Valley / Pairing classification
+  of the synchronized queue-length vector (Sec. VI).
+* :mod:`repro.core.interface` -- the software-hardware interface cost
+  model: custom ISA instructions (Table III) vs. x86 MSR syscalls.
+* :mod:`repro.core.runtime` -- the per-manager software runtime
+  implementing Algorithm 1.
+* :mod:`repro.core.scheduler` -- the full two-tier system (AC_int /
+  AC_rss variants) wired onto the hardware messaging of
+  :mod:`repro.hw.messaging`.
+"""
+
+from repro.core.config import AltocumulusConfig
+from repro.core.prediction import (
+    ThresholdModel,
+    calibrate_threshold_model,
+    erlang_c,
+    expected_queue_length,
+)
+from repro.core.patterns import Pattern, classify_pattern, migration_plan
+from repro.core.interface import HwInterface
+from repro.core.runtime import LoadEstimator, ManagerRuntime
+from repro.core.scheduler import AltocumulusSystem
+
+__all__ = [
+    "AltocumulusConfig",
+    "ThresholdModel",
+    "calibrate_threshold_model",
+    "erlang_c",
+    "expected_queue_length",
+    "Pattern",
+    "classify_pattern",
+    "migration_plan",
+    "HwInterface",
+    "LoadEstimator",
+    "ManagerRuntime",
+    "AltocumulusSystem",
+]

@@ -1,0 +1,169 @@
+"""The Altocumulus instruction set (Table III), executable.
+
+The paper adds four instructions so the user-level runtime can drive the
+manager-tile hardware without syscalls:
+
+=======================  ====================================================
+``altom_send r1,r2,r3``  send local MR offset (r1) content to MR entry id
+                         (r2) with a batch size (r3)
+``altom_status``         returns local head, tail and threshold pointers
+``altom_update r6,q``    update local rx queue depth (r6) to all managers
+                         (vector register of length n, stride 1)
+``altom_predict_config`` update migration-related registers
+=======================  ====================================================
+
+This module implements them as instruction objects executing against a
+:class:`~repro.hw.messaging.ManagerTileHw`, with per-issue cycle
+accounting taken from the active :class:`~repro.core.interface.HwInterface`
+(a few cycles for the custom instructions, ~100 cycles each when lowered
+to ``rdmsr``/``wrmsr``).  The runtime can therefore be driven through an
+explicit instruction stream, and tests can assert on the exact sequence
+a tick issues -- the closest software analogue of the paper's ISA-level
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interface import HwInterface
+from repro.hw.messaging import ManagerTileHw
+from repro.workload.request import Request
+
+
+@dataclass
+class IssueLog:
+    """Per-manager instruction accounting."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    cycles_ns: float = 0.0
+    trace: List[str] = field(default_factory=list)
+
+    def record(self, mnemonic: str, cost_ns: float, detail: str = "") -> None:
+        self.counts[mnemonic] = self.counts.get(mnemonic, 0) + 1
+        self.cycles_ns += cost_ns
+        self.trace.append(f"{mnemonic} {detail}".rstrip())
+
+    @property
+    def total_issues(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass(frozen=True)
+class StatusResult:
+    """What ``altom_status`` returns: the local queue pointers and the
+    currently configured threshold."""
+
+    head: int
+    tail: int
+    threshold: float
+    queue_len: int
+
+
+class AltocumulusIsa:
+    """Executes Table III instructions against one manager tile.
+
+    Every issue charges the interface's per-access cost to the log; the
+    caller (runtime / system) decides what to do with the accumulated
+    manager-core time.
+    """
+
+    def __init__(self, hw: ManagerTileHw, interface: HwInterface) -> None:
+        self.hw = hw
+        self.interface = interface
+        self.log = IssueLog()
+
+    # ------------------------------------------------------------------
+    def _charge(self, mnemonic: str, detail: str = "",
+                accesses: int = 1) -> float:
+        cost = accesses * self.interface.access_ns
+        self.log.record(mnemonic, cost, detail)
+        return cost
+
+    # ------------------------------------------------------------------
+    def altom_status(self) -> StatusResult:
+        """Read the local MR head/tail pointers and threshold register."""
+        self._charge("altom_status")
+        mrs = self.hw.mrs
+        entries = len(mrs)
+        return StatusResult(
+            head=0,
+            tail=entries,
+            threshold=self.hw.prs.threshold,
+            queue_len=entries,
+        )
+
+    def altom_update(self, queue_len: int, n_managers: int) -> None:
+        """Broadcast the local queue depth to all managers.
+
+        The custom instruction moves the whole vector in one issue; an
+        MSR lowering pays one access per destination register.
+        """
+        accesses = 1 if self.interface.kind == "isa" else max(1, n_managers)
+        self._charge("altom_update", f"q={queue_len}", accesses=accesses)
+        self.hw.broadcast_update(queue_len)
+
+    def altom_predict_config(self, **registers: object) -> None:
+        """Write migration parameters into the PR block."""
+        self._charge("altom_predict_config",
+                     ",".join(sorted(registers)) or "-")
+        if registers:
+            self.hw.configure(**registers)
+
+    def altom_send(
+        self,
+        dst_manager: int,
+        batch: List[Request],
+    ) -> bool:
+        """Trigger one MIGRATE of ``batch`` descriptors to ``dst_manager``.
+
+        Returns False on send-FIFO back-pressure (the caller restores
+        the batch), mirroring :meth:`ManagerTileHw.send_migrate`.
+        """
+        self._charge("altom_send", f"dst={dst_manager} n={len(batch)}")
+        return self.hw.send_migrate(dst_manager, batch)
+
+    # ------------------------------------------------------------------
+    def read_queue_vector(self, q_view: List[int]) -> Tuple[List[int], float]:
+        """Read the synchronized queue-length vector from the PRs.
+
+        One vector-register read under the custom ISA; one ``rdmsr`` per
+        entry under the MSR lowering.  Returns (vector, cost charged).
+        """
+        accesses = 1 if self.interface.kind == "isa" else max(1, len(q_view))
+        cost = self._charge("read_q_vector", accesses=accesses)
+        return list(q_view), cost
+
+    def drain_cost_ns(self) -> float:
+        """Total manager-core time consumed since construction."""
+        return self.log.cycles_ns
+
+    def reset_window(self) -> float:
+        """Return accumulated cost and start a fresh accounting window
+        (called by the runtime at the end of each tick)."""
+        cost = self.log.cycles_ns
+        self.log.cycles_ns = 0.0
+        return cost
+
+
+def tick_instruction_budget(
+    interface: HwInterface, n_managers: int, migrate_sends: int
+) -> float:
+    """Closed-form cost of one tick's instruction stream.
+
+    status + update + predict_config + vector read + one send per
+    MIGRATE -- the sequence Algorithm 1 issues.  Matches
+    :meth:`HwInterface.tick_cost_ns` minus the fixed prediction
+    arithmetic (which is plain ALU work, not interface accesses).
+    """
+    per_access = interface.access_ns
+    vector_accesses = 1 if interface.kind == "isa" else n_managers
+    update_accesses = 1 if interface.kind == "isa" else n_managers
+    return per_access * (
+        1  # altom_status
+        + update_accesses
+        + 1  # altom_predict_config
+        + vector_accesses
+        + migrate_sends
+    )

@@ -1,0 +1,358 @@
+"""The complete Altocumulus system: two-tier scheduling plus proactive
+hardware-assisted migration (Secs. III, V, VI).
+
+Topology
+--------
+``n_groups`` groups of ``group_size`` cores each.  The first core of a
+group is its *manager* (it runs the runtime and, in the AC_rss variant,
+software request dispatch); the rest are *workers*.  Managers never
+execute RPC handlers -- the 6.25% throughput sacrifice quantified in
+Sec. VIII-A.
+
+Data path
+---------
+NIC --(steering)--> manager NetRX (the MR file) --(local JBSQ(2))-->
+worker.  Variants:
+
+* **AC_int** -- hardware-terminated NIC (~30 ns), hardware JBSQ push
+  into the group (~20 ns, not serialized on the manager core).
+* **AC_rss** -- commodity PCIe NIC (200-800 ns), manager dispatches in
+  software at >= 70 cycles per message (theoretical 28 MRPS per manager,
+  Sec. VIII-B), serialized with the runtime's own tick cost -- which is
+  how the ISA-vs-MSR interface difference becomes visible end to end.
+
+Control path
+------------
+Each manager's :class:`~repro.core.runtime.ManagerRuntime` ticks every
+``Period`` ns and triggers MIGRATEs through the
+:class:`~repro.hw.messaging.ManagerTileHw` protocol over the NoC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Set
+
+from repro.core.config import AltocumulusConfig
+from repro.core.interface import HwInterface
+from repro.core.runtime import LoadEstimator, ManagerRuntime, RuntimeHooks
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.cores import Core
+from repro.hw.messaging import ManagerTileHw
+from repro.hw.nic import HwTerminatedDelivery, PcieDelivery, RssSteering
+from repro.hw.noc import Noc
+from repro.hw.topology import MeshTopology
+from repro.schedulers.base import RpcSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.request import Request
+
+
+class AltocumulusSystem(RpcSystem):
+    """Two-tier decentralized scheduling with proactive migrations."""
+
+    name = "altocumulus"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: AltocumulusConfig,
+        constants: HwConstants = DEFAULT_CONSTANTS,
+        execution_penalty: Optional[Callable[[Request], float]] = None,
+    ) -> None:
+        delivery = (
+            PcieDelivery(constants)
+            if config.variant == "rss"
+            else HwTerminatedDelivery(constants)
+        )
+        super().__init__(sim, streams, config.n_cores, delivery, constants)
+        self.config = config
+        self.name = f"ac_{config.variant}_{config.interface}"
+        self.execution_penalty = execution_penalty
+
+        g = config.n_groups
+        self.topology = MeshTopology(config.n_cores)
+        self.noc = Noc(
+            sim,
+            self.topology,
+            per_hop_ns=constants.noc_hop_ns,
+            link_contention=config.noc_link_contention,
+        )
+        self.steering = RssSteering(
+            g, policy=config.steering_policy, rng=streams.get("rss")
+        )
+        self.interface = HwInterface.of(config.interface, constants)
+
+        # Per-group structures -------------------------------------------------
+        self.managers: List[ManagerTileHw] = []
+        self.runtimes: List[ManagerRuntime] = []
+        self.estimators: List[LoadEstimator] = [LoadEstimator() for _ in range(g)]
+        #: Worker occupancy (in service + in flight + locally waiting).
+        self.occupancy: List[List[int]] = []
+        self.local_wait: List[List[Deque[Request]]] = []
+        #: Software dispatch: when each manager core next frees up.
+        self._mgr_free_at: List[float] = [0.0] * g
+        #: Interface cost of each manager's most recent tick.
+        self._tick_cost: List[float] = [0.0] * g
+        self._tick_running = False
+        #: Requests ever selected for migration (prediction-accuracy metric).
+        self.predicted_ids: Set[int] = set()
+
+        for group in range(g):
+            tile = group * config.group_size  # the manager's mesh tile
+            hw = ManagerTileHw(
+                sim,
+                self.noc,
+                tile_id=tile,
+                manager_index=group,
+                constants=constants,
+                mr_capacity=config.mr_capacity,
+                on_migrate_in=self._make_on_migrate_in(group),
+                on_update=self._make_on_update(group),
+                migrator_ns_per_entry=(
+                    constants.coherence_msg_ns if config.messaging == "sw" else 0.5
+                ),
+            )
+            self.managers.append(hw)
+            self.occupancy.append([0] * config.workers_per_group)
+            self.local_wait.append(
+                [deque() for _ in range(config.workers_per_group)]
+            )
+        for hw in self.managers:
+            hw.connect(self.managers)
+
+        for group in range(g):
+            runtime = ManagerRuntime(
+                group_index=group,
+                n_groups=g,
+                config=config,
+                hooks=self._make_hooks(group),
+                interface=self.interface,
+                estimator=self.estimators[group],
+            )
+            self.runtimes.append(runtime)
+        if config.runtime_enabled and g > 1:
+            self._tick_running = True
+            for group in range(g):
+                sim.schedule(config.period_ns, self._tick_loop, group)
+
+    # ------------------------------------------------------------------
+    # Group/core index arithmetic
+    # ------------------------------------------------------------------
+    def _worker_core(self, group: int, worker: int) -> Core:
+        """Worker ``worker`` of ``group`` (managers are index 0 in-group)."""
+        return self.cores[group * self.config.group_size + 1 + worker]
+
+    def _group_of_core(self, core_id: int) -> int:
+        return core_id // self.config.group_size
+
+    def _worker_index(self, core_id: int) -> int:
+        return core_id % self.config.group_size - 1
+
+    # ------------------------------------------------------------------
+    # NIC arrival path
+    # ------------------------------------------------------------------
+    def _deliver(self, request: Request) -> None:
+        group = self.steering.pick_queue(request)
+        request.group_id = group
+        request.enqueued = self.sim.now
+        mrs = self.managers[group].mrs
+        request.queue_len_at_arrival = len(mrs) + sum(self.occupancy[group])
+        self.estimators[group].record_arrival(self.sim.now)
+        if not mrs.enqueue(request):
+            self._drop(request)  # bounded MR file overflowed
+            return
+        self._pump_group(group)
+
+    # ------------------------------------------------------------------
+    # Local c-FCFS dispatch (JBSQ(worker_bound) within the group)
+    # ------------------------------------------------------------------
+    def _pump_group(self, group: int) -> None:
+        cfg = self.config
+        mrs = self.managers[group].mrs
+        occ = self.occupancy[group]
+        while len(mrs):
+            worker = self._least_occupied(occ, cfg.worker_bound)
+            if worker is None:
+                return
+            request = mrs.dequeue_head()
+            occ[worker] += 1
+            delay = self._dispatch_delay(group, worker)
+            self._charge_scheduling(delay)
+            self.sim.schedule(delay, self._arrive_at_worker, group, worker, request)
+
+    @staticmethod
+    def _least_occupied(occ: List[int], bound: int) -> Optional[int]:
+        best = None
+        best_v = bound
+        for idx, v in enumerate(occ):
+            if v < best_v:
+                best = idx
+                best_v = v
+        return best
+
+    def _dispatch_delay(self, group: int, worker: int) -> float:
+        """Latency until the dispatched request reaches its worker."""
+        if self.config.effective_dispatch == "hw":
+            # Hardware JBSQ push: LLC-speed hand-off plus the on-chip
+            # distance from the manager tile to the worker tile -- the
+            # "variance in remote cache access latency" that penalizes
+            # very large groups (Sec. VIII-B).
+            mgr_tile = group * self.config.group_size
+            worker_tile = mgr_tile + 1 + worker
+            hops = self.topology.hops(mgr_tile, worker_tile)
+            return 20.0 + hops * self.constants.noc_hop_ns
+        # Software dispatch: the manager core moves the message through
+        # the coherence protocol, one op at a time.
+        cost = self.constants.coherence_msg_ns
+        start = max(self.sim.now, self._mgr_free_at[group])
+        self._mgr_free_at[group] = start + cost
+        return (start + cost) - self.sim.now
+
+    def _arrive_at_worker(self, group: int, worker: int, request: Request) -> None:
+        core = self._worker_core(group, worker)
+        if core.busy:
+            self.local_wait[group][worker].append(request)
+        else:
+            self._start(core, request)
+
+    def _start(self, core: Core, request: Request) -> None:
+        startup = 0.0
+        if self.execution_penalty is not None:
+            startup = self.execution_penalty(request)
+        core.assign(request, startup_ns=startup)
+
+    def _after_complete(self, core: Core, request: Request) -> None:
+        group = self._group_of_core(core.core_id)
+        worker = self._worker_index(core.core_id)
+        self.occupancy[group][worker] -= 1
+        self.estimators[group].record_completion(request.service_time)
+        waiting = self.local_wait[group][worker]
+        if waiting:
+            self._start(core, waiting.popleft())
+        self._pump_group(group)
+
+    # ------------------------------------------------------------------
+    # Runtime hooks (Algorithm 1's interface to the system)
+    # ------------------------------------------------------------------
+    def _make_hooks(self, group: int) -> RuntimeHooks:
+        return RuntimeHooks(
+            local_queue_len=lambda: len(self.managers[group].mrs),
+            take_batch=lambda size: self._take_batch(group, size),
+            restore_batch=lambda batch: self._restore_batch(group, batch),
+            send_migrate=lambda dst, batch: self._send_migrate(group, dst, batch),
+            broadcast_update=lambda qlen: self.managers[group].broadcast_update(
+                qlen
+            ),
+            charge=lambda ns: self._charge_manager(group, ns),
+            flag_predicted=lambda count: self._flag_predicted(group, count),
+        )
+
+    def _flag_predicted(self, group: int, count: int) -> None:
+        for request in self.managers[group].mrs.peek_tail(count):
+            self.predicted_ids.add(request.req_id)
+
+    def _take_batch(self, group: int, size: int) -> List[Request]:
+        """Pop migration-eligible descriptors from the NetRX tail and
+        stamp their no-migration counterfactual ETA."""
+        cfg = self.config
+        mrs = self.managers[group].mrs
+        if cfg.allow_remigration:
+            eligible = lambda r: True  # noqa: E731 - tiny predicate
+        else:
+            eligible = lambda r: r.migrations == 0  # noqa: E731
+        batch = mrs.dequeue_tail_where(size, eligible)
+        if not batch:
+            return batch
+        workers = max(1, cfg.workers_per_group)
+        mean_service = self.estimators[group].mean_service_ns or 0.0
+        ahead = len(mrs) + sum(self.occupancy[group])
+        for offset, request in enumerate(batch):
+            if request.no_migration_eta is None:
+                est_wait = (ahead + offset) / workers * mean_service
+                request.no_migration_eta = (
+                    self.sim.now + est_wait + request.service_time
+                )
+            self.predicted_ids.add(request.req_id)
+        return batch
+
+    def _send_migrate(self, group: int, dst: int, batch: List[Request]) -> bool:
+        """Route a MIGRATE through the configured messaging mechanism.
+
+        Software messaging (case-study ablation) charges the manager one
+        coherence message per descriptor on top of the transfer -- the
+        cost the register-level hardware path exists to avoid.
+        """
+        if self.config.messaging == "sw":
+            self._charge_manager(
+                group, len(batch) * self.constants.coherence_msg_ns
+            )
+            self.stats.bump("sw_migrate_descriptors", len(batch))
+        return self.managers[group].send_migrate(dst, batch)
+
+    def _restore_batch(self, group: int, batch: List[Request]) -> None:
+        mrs = self.managers[group].mrs
+        for request in batch:
+            mrs.enqueue_reserved(request)  # slots still logically held
+
+    def _charge_manager(self, group: int, ns: float) -> None:
+        """Account manager-core time.
+
+        It always stretches the runtime's own tick cadence (a tick
+        cannot start before the previous one's work retired -- the
+        MSR-interface effect of Fig. 14), and when the manager is also
+        the software dispatcher the same busy time delays dispatches.
+        """
+        self._tick_cost[group] = max(self._tick_cost[group], ns)
+        if self.config.effective_dispatch == "sw":
+            self._mgr_free_at[group] = (
+                max(self.sim.now, self._mgr_free_at[group]) + ns
+            )
+
+    # ------------------------------------------------------------------
+    # Messaging-hardware callbacks
+    # ------------------------------------------------------------------
+    def _make_on_migrate_in(self, group: int):
+        def on_migrate_in(requests: List[Request], src: int) -> None:
+            self.stats.bump("descriptors_received")
+            for request in requests:
+                request.group_id = group  # now owned by this manager
+            self._pump_group(group)
+
+        return on_migrate_in
+
+    def _make_on_update(self, group: int):
+        def on_update(src: int, qlen: int) -> None:
+            self.runtimes[group].on_update(src, qlen)
+
+        return on_update
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    def netrx_lengths(self) -> List[int]:
+        """Current NetRX occupancy per group (the Fig. 9 snapshot)."""
+        return [len(hw.mrs) for hw in self.managers]
+
+    def total_migrated(self) -> int:
+        """Requests that completed at least one migration."""
+        return sum(hw.stats.descriptors_accepted for hw in self.managers)
+
+    def _tick_loop(self, group: int) -> None:
+        """Self-rescheduling runtime tick.
+
+        The next tick starts one Period later, or once the previous
+        tick's interface work retired if that took longer -- a slow
+        interface (MSR syscalls) therefore stretches the effective
+        migration cadence rather than queueing ticks.
+        """
+        if not self._tick_running:
+            return
+        self._tick_cost[group] = 0.0
+        self.runtimes[group].tick()
+        delay = max(self.config.period_ns, self._tick_cost[group])
+        self.sim.schedule(delay, self._tick_loop, group)
+
+    def shutdown(self) -> None:
+        self._tick_running = False

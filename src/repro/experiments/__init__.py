@@ -1,0 +1,21 @@
+"""Per-figure/table reproduction harnesses.
+
+Each module exposes ``run(scale=1.0, seed=...) -> ExperimentResult``
+regenerating one evaluation artifact of the paper.  ``scale`` shrinks or
+grows request counts (benchmarks use ``scale < 1`` for time-bounded
+runs; ``scale = 1`` is the documented reproduction configuration).
+
+The registry maps experiment ids ("fig10", "tab1", ...) to run
+functions; the ``altocumulus-exp`` CLI and the benchmark suite both go
+through it.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    altocumulus-exp fig10                 # one experiment, full scale
+    altocumulus-exp all --scale 0.2       # everything, scaled down
+    altocumulus-exp fig07 --out results/  # also write results/fig07.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="altocumulus-exp",
+        description="Regenerate Altocumulus (MICRO'22) evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig10) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="request-count scale factor (default 1.0; benches use <1)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--out", default=None, help="directory to write <exp_id>.txt into"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --out: also write <exp_id>.json",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(list_experiments()))
+        return 0
+
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        run = get_experiment(exp_id)
+        started = time.time()
+        result = run(scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.table())
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        if args.out:
+            path = result.save(args.out)
+            print(f"[wrote {path}]\n")
+            if args.json:
+                print(f"[wrote {result.save_json(args.out)}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Fig. 9 -- temporal load imbalance across 4 network-receive queues
+(256-core d-FCFS system; each queue fronts a 64-core c-FCFS group).
+
+For the three load-oblivious steering policies (connection hash, random,
+round-robin), run bursty traffic near saturation with *migrations
+disabled* and snapshot the four NetRX queue lengths at the moment the
+first 10 SLO violations have occurred.  The paper's observation: every
+oblivious policy shows a noticeable spread -- exactly the Hill /
+Pairing / Valley shapes the runtime classifies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.experiments.common import ExperimentResult, scaled
+from repro.workload.arrivals import MMPPArrivals
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.timer import PeriodicTimer
+from repro.workload.connections import ConnectionPool
+from repro.workload.generator import LoadGenerator
+from repro.workload.service import Exponential
+
+N_GROUPS = 4
+GROUP_SIZE = 64
+SERVICE_NS = 1_000.0
+LOAD = 0.95
+L = 10.0
+SAMPLE_EVERY_NS = 500.0
+POLICIES = ["connection", "random", "round_robin"]
+
+
+def _run_policy(
+    policy: str, n_requests: int, seed: int
+) -> Tuple[List[int], float]:
+    """Return (queue snapshot at 10th violation, snapshot time ns)."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    config = AltocumulusConfig(
+        n_groups=N_GROUPS,
+        group_size=GROUP_SIZE,
+        runtime_enabled=False,  # pure d-FCFS across queues: no migrations
+        steering_policy=policy,
+        variant="int",
+    )
+    system = AltocumulusSystem(sim, streams, config)
+    service = Exponential(SERVICE_NS)
+    workers = config.n_workers
+    rate = LOAD * workers / SERVICE_NS * 1e9
+    # Few hot connections make the connection policy visibly skewed.
+    connections = ConnectionPool.skewed(32, zipf_s=1.1)
+    # Gentler bursts than the default real-world profile: at 1 us mean
+    # service a 3x burst floods thousands of requests deep, whereas the
+    # figure studies the moderate-imbalance regime.
+    arrivals = MMPPArrivals(
+        rate,
+        burst_factor=2.0,
+        calm_fraction=0.75,
+        mean_dwell_ns=10_000.0,
+        batch_mean=3.0,
+    )
+    generator = LoadGenerator(
+        sim,
+        streams,
+        arrivals,
+        service,
+        sink=system.offer,
+        n_requests=n_requests,
+        connections=connections,
+    )
+    samples: List[Tuple[float, List[int]]] = []
+    sampler = PeriodicTimer(
+        sim,
+        SAMPLE_EVERY_NS,
+        lambda: samples.append((sim.now, system.netrx_lengths())),
+    )
+    system.expect(n_requests)
+    generator.start()
+    sim.run(until=10**15)
+    sampler.stop()
+    system.shutdown()
+
+    slo_ns = L * SERVICE_NS
+    violation_times = sorted(
+        r.arrival + slo_ns
+        for r in generator.requests
+        if r.completed and r.latency > slo_ns
+    )
+    if len(violation_times) < 10 or not samples:
+        return system.netrx_lengths(), sim.now
+    t10 = violation_times[9]
+    snapshot = samples[0][1]
+    when = samples[0][0]
+    for t, lengths in samples:
+        if t > t10:
+            break
+        snapshot, when = lengths, t
+    return snapshot, when
+
+
+def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Regenerate Fig. 9 (NetRX imbalance snapshots)."""
+    n_requests = scaled(150_000, scale)
+    rows: List[List[object]] = []
+    for policy in POLICIES:
+        snapshot, when = _run_policy(policy, n_requests, seed)
+        spread = max(snapshot) - min(snapshot)
+        rows.append([policy] + snapshot + [spread, when / 1000.0])
+    return ExperimentResult(
+        exp_id="fig09",
+        title="NetRX queue lengths at the 10th SLO violation (4x64 cores)",
+        headers=[
+            "steering",
+            "rxq0",
+            "rxq1",
+            "rxq2",
+            "rxq3",
+            "spread",
+            "snapshot_us",
+        ],
+        rows=rows,
+        notes=(
+            "Load-oblivious steering leaves a visible spread between the\n"
+            "longest and shortest queue under bursty skewed traffic --\n"
+            "the imbalance patterns (Hill/Pairing/Valley) Altocumulus\n"
+            "classifies and corrects."
+        ),
+    )

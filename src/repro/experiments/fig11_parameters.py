@@ -1,0 +1,107 @@
+"""Fig. 11 -- migration parameter exploration on a 256-core system
+(16 manager groups x 16 cores, ~1.6 TbE-class offered load).
+
+(a) Sweep Bulk (8-40 descriptors/round) at Period = 200 ns.
+(b) Sweep Period (10-1000 ns) at Bulk = 16.
+
+Reported per point: SLO violations among measured requests (bars in the
+paper) and p99 latency (line) -- the two should track each other, with
+violations vanishing around Bulk=16 and staying flat for periods up to
+~400 ns before lazy migration (1000 ns) loses opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    gentle_bursts,
+    run_once,
+    scaled,
+)
+from repro.workload.connections import ConnectionPool
+from repro.workload.service import Bimodal
+
+N_GROUPS = 16
+GROUP_SIZE = 16
+SERVICE = Bimodal(short_ns=500.0, long_ns=5_000.0, long_fraction=0.029)
+LOAD = 0.75
+L = 10.0
+BULKS = [8, 16, 24, 32, 40]
+PERIODS_NS = [10.0, 40.0, 100.0, 200.0, 400.0, 1000.0]
+
+
+def _run_config(
+    n_requests: int,
+    seed: int,
+    bulk: int,
+    period_ns: float,
+    runtime_enabled: bool = True,
+):
+    def builder(sim, streams):
+        config = AltocumulusConfig(
+            n_groups=N_GROUPS,
+            group_size=GROUP_SIZE,
+            variant="int",
+            period_ns=period_ns,
+            bulk=bulk,
+            concurrency=8,
+            slo_multiplier=L,
+            offered_load=LOAD,
+            runtime_enabled=runtime_enabled,
+        )
+        return AltocumulusSystem(sim, streams, config)
+
+    workers = N_GROUPS * (GROUP_SIZE - 1)
+    rate = LOAD * workers / SERVICE.mean * 1e9
+    return run_once(
+        builder,
+        gentle_bursts(rate),
+        SERVICE,
+        n_requests=n_requests,
+        seed=seed,
+        connections=ConnectionPool.skewed(256, zipf_s=0.5),
+    )
+
+
+def _row(label: str, knob: object, result) -> List[object]:
+    slo_ns = L * SERVICE.mean
+    violations = sum(1 for r in result.requests if r.latency > slo_ns)
+    return [
+        label,
+        knob,
+        violations,
+        result.latency.p99 / 1000.0,
+        result.extra.get("descriptors_received", 0.0),
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Regenerate Fig. 11 (Bulk/Period sensitivity)."""
+    n_requests = scaled(120_000, scale)
+    rows: List[List[object]] = []
+    baseline = _run_config(n_requests, seed, bulk=16, period_ns=200.0,
+                           runtime_enabled=False)
+    rows.append(_row("no_migration", "-", baseline))
+    for bulk in BULKS:
+        result = _run_config(n_requests, seed, bulk=bulk, period_ns=200.0)
+        rows.append(_row("bulk_sweep", bulk, result))
+    for period in PERIODS_NS:
+        result = _run_config(n_requests, seed, bulk=16, period_ns=period)
+        rows.append(_row("period_sweep", period, result))
+    return ExperimentResult(
+        exp_id="fig11",
+        title="Migration Bulk/Period sensitivity (256 cores, 16x16 groups)",
+        headers=["sweep", "value", "slo_violations", "p99_us", "migrated_desc"],
+        rows=rows,
+        notes=(
+            f"SLO = {L:.0f} x mean service = {L * SERVICE.mean / 1000:.2f} us; "
+            f"offered load {LOAD:.2f} of worker capacity under bursty,\n"
+            "connection-skewed traffic. Expect violations to drop sharply\n"
+            "vs the no-migration baseline, bottom out around Bulk=16, and\n"
+            "stay insensitive to Period until ~1000 ns."
+        ),
+    )

@@ -1,0 +1,287 @@
+"""Fig. 13 -- MICA scalability, case studies, and SLO-target sensitivity.
+
+(a) Throughput@SLO for 32-256 cores under (1) Poisson arrivals with
+    fixed 850 ns service (the eRPC stack) and (2) the real-world bursty
+    pattern; systems: commodity RSS, Nebula, AC_int with suboptimal
+    (synthetic-tuned) and tuned migration parameters.  SLO: p99 <
+    8.5 us = 10 x 850 ns.  AC rows also report prediction accuracy.
+
+(b) Case studies 1-2 (256 cores, real-world MICA traffic):
+    RSS baseline; AC_int_rt (runtime only, software messaging);
+    AC_int_rt+msg (runtime + hardware messaging); AC_rss tuned for
+    synthetic vs for real-world traffic.
+
+(c) Prediction accuracy vs SLO target (5A / 10A / 20A, A = 850 ns,
+    load 0.9) for the RSS baseline (threshold model evaluated passively)
+    and the tuned AC_rss / AC_int systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.analysis.slo import prediction_accuracy
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    real_world_arrivals,
+    run_once,
+    scaled,
+)
+from repro.hw.constants import DEFAULT_CONSTANTS
+from repro.hw.nic import PcieDelivery
+from repro.kvs import MicaServiceModel, MicaWorkload, build_dataset
+from repro.schedulers.jbsq import nebula
+from repro.schedulers.rss import RssSystem
+from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.service import Fixed
+
+SERVICE_NS = 850.0
+SLO_NS = 10.0 * SERVICE_NS  # 8.5 us
+CORE_COUNTS = [32, 64, 128, 256]
+RATE_FRACTIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def _ac_config(n_cores: int, tuned: bool, variant: str = "int",
+               messaging: str = "hw") -> AltocumulusConfig:
+    n_groups = max(2, n_cores // 16)
+    if tuned:
+        return AltocumulusConfig(
+            n_groups=n_groups,
+            group_size=n_cores // n_groups,
+            variant=variant,
+            period_ns=100.0,
+            bulk=32,
+            concurrency=min(8, n_groups - 1),
+            slo_multiplier=10.0,
+            messaging=messaging,
+        )
+    return AltocumulusConfig(
+        n_groups=n_groups,
+        group_size=n_cores // n_groups,
+        variant=variant,
+        period_ns=200.0,
+        bulk=16,
+        concurrency=min(8, n_groups - 1),
+        slo_multiplier=10.0,
+        messaging=messaging,
+    )
+
+
+def _nebula_scaled(sim, streams, n_cores: int):
+    """Nebula beyond one coherence domain (64 cores): the fraction of
+    requests landing outside the NIC's domain pays a QPI-class remote
+    read to fetch its payload -- Table I's 'limited coherence domain
+    size' bottleneck, charged as per-request startup."""
+    system = nebula(sim, streams, n_cores)
+    domain = 64
+    if n_cores > domain:
+        crossing_fraction = 1.0 - domain / n_cores
+        system.startup_overhead_ns = crossing_fraction * DEFAULT_CONSTANTS.qpi_ns
+    return system
+
+
+def _builders(n_cores: int):
+    return {
+        "rss": lambda sim, streams: RssSystem(
+            sim, streams, n_cores, delivery=PcieDelivery()
+        ),
+        "nebula": lambda sim, streams: _nebula_scaled(sim, streams, n_cores),
+        "ac_int_subopt": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=False)
+        ),
+        "ac_int_opt": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True)
+        ),
+    }
+
+
+def _mica_workload(n_cores: int, seed: int, zipf_s: float = 0.9) -> MicaWorkload:
+    n_groups = max(2, n_cores // 16)
+    dataset = build_dataset(n_partitions=n_groups, n_keys=4_000, seed=seed)
+    return MicaWorkload(
+        dataset,
+        MicaServiceModel.erpc(),
+        n_groups=n_groups,
+        scan_fraction=0.0,
+        zipf_s=zipf_s,  # hot keys -> hot EREW partitions -> group imbalance
+        seed=seed,
+    )
+
+
+def _run_point(
+    builder: Callable,
+    rate_rps: float,
+    n_requests: int,
+    seed: int,
+    realistic: bool,
+    n_cores: int,
+    zipf_s: float = 0.9,
+):
+    workload: Optional[MicaWorkload] = None
+    request_factory = None
+    if realistic:
+        workload = _mica_workload(n_cores, seed, zipf_s=zipf_s)
+        request_factory = workload.request_factory
+
+    def wired_builder(sim, streams):
+        system = builder(sim, streams)
+        if workload is not None:
+            if isinstance(system, AltocumulusSystem):
+                system.execution_penalty = workload.execute
+            else:
+                system.completion_hooks.append(workload.execute)
+        return system
+
+    arrivals = (
+        real_world_arrivals(rate_rps) if realistic else PoissonArrivals(rate_rps)
+    )
+    return run_once(
+        wired_builder,
+        arrivals,
+        Fixed(SERVICE_NS),
+        n_requests=n_requests,
+        seed=seed,
+        request_factory=request_factory,
+    )
+
+
+def _throughput_at_slo(
+    builder: Callable, n_cores: int, n_requests: int, seed: int, realistic: bool
+):
+    """Sweep rate fractions; return (best MRPS, accuracy at best point)."""
+    capacity = n_cores / SERVICE_NS * 1e9
+    best = 0.0
+    accuracy = None
+    for fraction in RATE_FRACTIONS:
+        rate = fraction * capacity
+        result = _run_point(builder, rate, n_requests, seed, realistic, n_cores)
+        if result.latency.p99 <= SLO_NS and rate > best:
+            best = rate
+            if isinstance(result.system, AltocumulusSystem):
+                accuracy = prediction_accuracy(
+                    result.requests, result.system.predicted_ids, SLO_NS
+                )
+    return best / 1e6, accuracy
+
+
+def _panel_a(n_requests: int, seed: int) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for realistic in (False, True):
+        pattern = "real_world" if realistic else "poisson_fixed850"
+        for n_cores in CORE_COUNTS:
+            for name, builder in _builders(n_cores).items():
+                mrps, accuracy = _throughput_at_slo(
+                    builder, n_cores, n_requests, seed, realistic
+                )
+                rows.append(
+                    ["a", pattern, n_cores, name, mrps,
+                     accuracy if accuracy is not None else ""]
+                )
+    return rows
+
+
+def _panel_b(n_requests: int, seed: int) -> List[List[object]]:
+    n_cores = 256
+    configs = {
+        "rss": lambda sim, streams: RssSystem(
+            sim, streams, n_cores, delivery=PcieDelivery()
+        ),
+        "ac_int_rt": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True, messaging="sw")
+        ),
+        "ac_int_rt_msg": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True, messaging="hw")
+        ),
+        "ac_rss_syn": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=False, variant="rss")
+        ),
+        "ac_rss_rw": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True, variant="rss")
+        ),
+    }
+    rows: List[List[object]] = []
+    for name, builder in configs.items():
+        mrps, accuracy = _throughput_at_slo(
+            builder, n_cores, n_requests, seed, realistic=True
+        )
+        rows.append(["b", "case_study", n_cores, name, mrps,
+                     accuracy if accuracy is not None else ""])
+    return rows
+
+
+def _panel_c(n_requests: int, seed: int) -> List[List[object]]:
+    n_cores = 64
+    load = 0.9
+    rate = load * n_cores / SERVICE_NS * 1e9
+    configs = {
+        "rss": lambda sim, streams: RssSystem(
+            sim, streams, n_cores, delivery=PcieDelivery()
+        ),
+        # The elastic-RSS feature the paper folds into AC_rss_opt for
+        # this case study ([7]: 20 us re-mapping granularity).
+        "rsspp": lambda sim, streams: RssPlusPlusSystem(
+            sim, streams, n_cores, delivery=PcieDelivery(),
+            rebalance_interval_ns=20_000.0,
+        ),
+        "ac_rss_opt": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True, variant="rss")
+        ),
+        "ac_int_opt": lambda sim, streams: AltocumulusSystem(
+            sim, streams, _ac_config(n_cores, tuned=True)
+        ),
+    }
+    rows: List[List[object]] = []
+    for multiplier in (5.0, 10.0, 20.0):
+        slo_ns = multiplier * SERVICE_NS
+        for name, builder in configs.items():
+            # Mild key skew: violations here should come from bursts the
+            # threshold must anticipate, not from a permanently
+            # overloaded hot partition (which would let any predictor
+            # look perfect).
+            result = _run_point(builder, rate, n_requests, seed,
+                                realistic=True, n_cores=n_cores, zipf_s=0.3)
+            if isinstance(result.system, AltocumulusSystem):
+                predicted = result.system.predicted_ids
+            else:
+                # Passive evaluation of the naive static per-queue
+                # threshold (T = k*L+1 with k=1) on the RSS baseline.
+                predicted = {
+                    r.req_id
+                    for r in result.requests
+                    if (r.queue_len_at_arrival or 0) > multiplier + 1
+                }
+            accuracy = prediction_accuracy(result.requests, predicted, slo_ns)
+            flagged_share = len(predicted) / max(1, len(result.requests))
+            rows.append(
+                ["c", f"slo={multiplier:.0f}A", n_cores, name, accuracy,
+                 round(flagged_share, 3)]
+            )
+    return rows
+
+
+def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Regenerate Fig. 13 (MICA scaling, case studies, SLO sweep)."""
+    n_requests = scaled(40_000, scale)
+    rows = _panel_a(n_requests, seed) + _panel_b(n_requests, seed) + _panel_c(
+        n_requests, seed
+    )
+    return ExperimentResult(
+        exp_id="fig13",
+        title="MICA scalability, case studies, SLO-target sensitivity",
+        headers=["panel", "pattern", "cores", "system", "value", "extra"],
+        rows=rows,
+        notes=(
+            "panel a: value = throughput@SLO (MRPS, p99 < 8.5us); AC rows\n"
+            "  also report prediction accuracy at the best point.\n"
+            "panel b: case studies 1-2 at 256 cores (value = MRPS@SLO).\n"
+            "panel c: value = prediction accuracy at SLO in {5A,10A,20A};\n"
+            "  extra = share of requests flagged as predicted violators\n"
+            "  (the over-prediction burden the accuracy metric hides).\n"
+            "Expect AC variants to scale near-linearly where RSS/Nebula\n"
+            "flatten, rt+msg > rt, rw-tuned > syn-tuned, and accuracy to\n"
+            "converge toward 1.0 at the relaxed 20A target."
+        ),
+    )

@@ -1,0 +1,45 @@
+"""The experiment registry: id -> run function.
+
+Lazily imports experiment modules so ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List
+
+from repro.experiments.common import ExperimentResult
+
+#: Experiment id -> module path (each module exposes ``run``).
+EXPERIMENTS: Dict[str, str] = {
+    "fig01": "repro.experiments.fig01_stack_latency",
+    "fig03": "repro.experiments.fig03_overhead",
+    "tab1": "repro.experiments.tab1_comparison",
+    "fig07": "repro.experiments.fig07_prediction",
+    "fig09": "repro.experiments.fig09_imbalance",
+    "fig10": "repro.experiments.fig10_comparison",
+    "fig11": "repro.experiments.fig11_parameters",
+    "fig12": "repro.experiments.fig12_effectiveness",
+    "fig13": "repro.experiments.fig13_scalability",
+    "fig14": "repro.experiments.fig14_endtoend",
+    "tab2_tab3": "repro.experiments.tab2_tab3",
+    # Not paper artifacts: the design-choice ablations DESIGN.md lists,
+    # and the closed-form queueing validation behind every measurement.
+    "ablations": "repro.experiments.ablations",
+    "validation": "repro.experiments.validation",
+}
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """Resolve an experiment id to its ``run(scale, seed)`` function."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {', '.join(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[exp_id])
+    return module.run

@@ -1,0 +1,34 @@
+"""Simulator validation artifact: measured vs closed-form mean waits.
+
+Not a paper figure -- this is the credibility check behind every other
+artifact: the DES must agree with M/M/1, M/D/1, M/G/1 (P-K) and M/M/k
+(Erlang-C) closed forms before its scheduling comparisons mean anything.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.validation import validate_simulator
+from repro.experiments.common import ExperimentResult, scaled
+
+
+def run(scale: float = 1.0, seed: int = 29) -> ExperimentResult:
+    """Run the closed-form queueing validation."""
+    n_requests = scaled(120_000, scale, minimum=30_000)
+    points = validate_simulator(n_requests=n_requests, seed=seed)
+    rows = [
+        [p.model, p.k, p.rho, p.predicted_wait_ns, p.measured_wait_ns,
+         p.relative_error]
+        for p in points
+    ]
+    worst = max(p.relative_error for p in points)
+    return ExperimentResult(
+        exp_id="validation",
+        title="DES vs closed-form queueing theory (mean waits, ns)",
+        headers=["model", "k", "rho", "predicted_ns", "measured_ns",
+                 "rel_error"],
+        rows=rows,
+        notes=(
+            f"Worst relative error: {worst:.1%}. A healthy simulator sits\n"
+            "well under 10% at this sample size; the benchmark gates on 15%."
+        ),
+    )

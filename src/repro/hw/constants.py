@@ -1,0 +1,78 @@
+"""Latency and sizing constants from the paper's methodology (Sec. VII-B)
+and hardware-cost discussion (Secs. V-B, VI).
+
+All latencies in nanoseconds; all cycle counts assume the paper's 2 GHz
+cores unless a frequency is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HwConstants:
+    """One immutable bag of modelling constants, shared by a system.
+
+    Attributes map one-to-one onto numbers quoted in the paper:
+
+    * ``nic_terminate_ns`` -- Ethernet MAC + serial I/O + transport
+      interpretation on a hardware-terminated NIC: ~30 ns total [23].
+    * ``noc_hop_ns`` -- per-hop NoC packet latency: 3 ns.
+    * ``qpi_ns`` -- QPI point-to-point latency: 150 ns [6].
+    * ``pcie_min_ns`` / ``pcie_max_ns`` -- PCIe transfer: 200-800 ns
+      depending on data size [46].
+    * ``coherence_msg_cycles`` -- minimum cycles to move a message to a
+      worker through the cache-coherence protocol: 70 cycles [26].
+    * ``steal_min_ns`` / ``steal_max_ns`` -- software work-stealing cost:
+      2-3 cache misses, 200-400 ns [54].
+    * ``interrupt_ns`` -- inter-processor interrupt: ~1 us [26].
+    * ``msr_access_cycles`` -- ``rdmsr``/``wrmsr`` syscall: ~100 cycles.
+    * ``isa_access_cycles`` -- custom Altocumulus instruction: a few
+      cycles of register-level data movement.
+    * ``mr_entry_bytes`` -- migration-register descriptor: 8 B pointer +
+      48-bit IP/port = 14 B.
+    * ``send_fifo_entries`` -- send/receive FIFO depth: 16 entries.
+    * ``freq_ghz`` -- core clock used to convert cycle counts.
+    """
+
+    nic_terminate_ns: float = 30.0
+    noc_hop_ns: float = 3.0
+    qpi_ns: float = 150.0
+    pcie_min_ns: float = 200.0
+    pcie_max_ns: float = 800.0
+    pcie_full_size_bytes: int = 2048
+    coherence_msg_cycles: int = 70
+    steal_min_ns: float = 200.0
+    steal_max_ns: float = 400.0
+    interrupt_ns: float = 1_000.0
+    msr_access_cycles: int = 100
+    isa_access_cycles: int = 3
+    mr_entry_bytes: int = 14
+    send_fifo_entries: int = 16
+    recv_fifo_entries: int = 16
+    freq_ghz: float = 2.0
+
+    # ------------------------------------------------------------------
+    def cycles_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds at this system's clock."""
+        return cycles / self.freq_ghz
+
+    @property
+    def coherence_msg_ns(self) -> float:
+        """Cost of one coherence-protocol message hand-off, in ns."""
+        return self.cycles_ns(self.coherence_msg_cycles)
+
+    @property
+    def msr_access_ns(self) -> float:
+        """Cost of one MSR syscall-based register access, in ns."""
+        return self.cycles_ns(self.msr_access_cycles)
+
+    @property
+    def isa_access_ns(self) -> float:
+        """Cost of one custom-instruction register access, in ns."""
+        return self.cycles_ns(self.isa_access_cycles)
+
+
+#: The default constants instance used when none is supplied.
+DEFAULT_CONSTANTS = HwConstants()

@@ -1,0 +1,101 @@
+"""Shared memory-bandwidth contention model.
+
+Table I lists "mem. b/w" among the hardware schedulers' scalability
+bottlenecks, and the MICA experiments move real value bytes (512 B
+values, DRAM-resident log).  This model captures the first-order
+effect: cores share a finite DRAM bandwidth, and when the aggregate
+demand within a window approaches it, each access's effective latency
+inflates.
+
+The model is deliberately coarse -- a sliding-window utilization
+estimate, not a DRAM controller: it answers "how much does a 512 B
+value copy cost when the machine moves N GB/s?" which is all the
+service-time modelling needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.sim.engine import Simulator
+
+#: DDR4-class single-socket bandwidth: ~100 GB/s = 0.1 B/ns per... in
+#: ns-and-bytes units: 100 GB/s = 100 bytes/ns.
+DEFAULT_BANDWIDTH_BYTES_PER_NS = 100.0
+
+#: Uncontended DRAM access latency.
+DEFAULT_IDLE_LATENCY_NS = 80.0
+
+
+class MemoryBandwidthModel:
+    """Sliding-window bandwidth accounting with latency inflation.
+
+    ``access(bytes)`` records a transfer and returns its modelled
+    latency: the idle DRAM latency, plus the transfer time at full
+    bandwidth, inflated by ``1 / (1 - utilization)`` as the window's
+    demand approaches capacity (the standard open-queue approximation
+    for a bandwidth-shared resource).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_ns: float = DEFAULT_BANDWIDTH_BYTES_PER_NS,
+        idle_latency_ns: float = DEFAULT_IDLE_LATENCY_NS,
+        window_ns: float = 10_000.0,
+        max_inflation: float = 20.0,
+    ) -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        if idle_latency_ns < 0:
+            raise ValueError("idle latency must be >= 0")
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        if max_inflation < 1:
+            raise ValueError("max inflation must be >= 1")
+        self.sim = sim
+        self.bandwidth = float(bandwidth_bytes_per_ns)
+        self.idle_latency_ns = float(idle_latency_ns)
+        self.window_ns = float(window_ns)
+        self.max_inflation = float(max_inflation)
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._window_bytes = 0
+        self.total_bytes = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    def _expire(self) -> None:
+        horizon = self.sim.now - self.window_ns
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, size = events.popleft()
+            self._window_bytes -= size
+
+    def utilization(self) -> float:
+        """Fraction of the window's byte capacity currently claimed."""
+        self._expire()
+        capacity = self.bandwidth * self.window_ns
+        return min(1.0, self._window_bytes / capacity)
+
+    def access(self, size_bytes: int) -> float:
+        """Record a transfer; return its modelled latency in ns."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        self._expire()
+        utilization = self.utilization()
+        inflation = min(self.max_inflation,
+                        1.0 / max(1e-9, 1.0 - utilization))
+        self._events.append((self.sim.now, size_bytes))
+        self._window_bytes += size_bytes
+        self.total_bytes += size_bytes
+        self.accesses += 1
+        transfer_ns = size_bytes / self.bandwidth
+        return self.idle_latency_ns + transfer_ns * inflation
+
+    # ------------------------------------------------------------------
+    def achieved_bandwidth_bytes_per_ns(self) -> float:
+        """Long-run average demand (diagnostics)."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.total_bytes / self.sim.now

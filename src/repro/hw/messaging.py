@@ -1,0 +1,316 @@
+"""The manager-tile messaging hardware: migrator + controller (Fig. 6)
+implementing the four-message protocol of Table II over the NoC.
+
+Message types
+-------------
+* ``PREDICT_CONFIG`` -- core-local PR write; never crosses the NoC.
+* ``MIGRATE`` -- carries ``req_num`` 14 B descriptors from the source
+  manager's MR tail to the destination's MR tail.
+* ``UPDATE`` -- broadcasts the local queue length to all other managers.
+* ``ACK``/``NACK`` -- migration accepted (source forgets the
+  descriptors) or rejected because the destination's receive FIFO / MR
+  file is full (source restores them; the migration is *not* replayed,
+  per Sec. V-A).
+
+Fidelity notes
+--------------
+The paper keeps migrated descriptors valid in the source MRs until the
+ACK arrives.  We instead hold in-flight descriptors in a pending buffer
+and restore them on NACK: the observable behaviour (no loss, no
+duplication, no replay) is identical, without modelling speculative
+double-dispatch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.noc import Noc, NocMessage
+from repro.hw.registers import HardwareFifo, MigrationRegisterFile, ParameterRegisters
+from repro.workload.request import Request
+
+#: Virtual network reserved for Altocumulus traffic (Sec. V-B).
+ALTOCUMULUS_VNET = 1
+
+#: Bytes of MIGRATE header: req_num + src_mid + dst_mid + tail pointer.
+MIGRATE_HEADER_BYTES = 8
+
+#: Bytes of an UPDATE payload: one queue-length word.
+UPDATE_BYTES = 8
+
+#: Bytes of an ACK/NACK message.
+ACK_BYTES = 4
+
+
+class MessageType(enum.Enum):
+    """The Table II message classes."""
+    PREDICT_CONFIG = "predict_config"
+    MIGRATE = "migrate"
+    UPDATE = "update"
+    ACK = "ack"
+    NACK = "nack"
+
+
+@dataclass
+class _Payload:
+    """What rides inside a NocMessage for this protocol."""
+
+    kind: MessageType
+    src_manager: int
+    dst_manager: int
+    requests: List[Request] = field(default_factory=list)
+    queue_len: int = 0
+    migrate_id: int = 0
+
+
+@dataclass
+class MessagingStats:
+    """Per-tile protocol counters."""
+
+    migrates_sent: int = 0
+    migrates_acked: int = 0
+    migrates_nacked: int = 0
+    descriptors_sent: int = 0
+    descriptors_accepted: int = 0
+    updates_sent: int = 0
+    updates_received: int = 0
+    send_backpressure: int = 0
+
+
+class ManagerTileHw:
+    """One manager tile's migration hardware.
+
+    The runtime (software) talks to this object through three calls --
+    :meth:`configure` (PREDICT_CONFIG), :meth:`send_migrate` (MIGRATE)
+    and :meth:`broadcast_update` (UPDATE) -- and receives three
+    callbacks: ``on_migrate_in``, ``on_update`` and
+    ``on_migrate_rejected``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        noc: Noc,
+        tile_id: int,
+        manager_index: int,
+        constants: HwConstants = DEFAULT_CONSTANTS,
+        mr_capacity: Optional[int] = None,
+        on_migrate_in: Optional[Callable[[List[Request], int], None]] = None,
+        on_update: Optional[Callable[[int, int], None]] = None,
+        on_migrate_rejected: Optional[Callable[[List[Request], int], None]] = None,
+        migrator_ns_per_entry: float = 0.5,
+    ) -> None:
+        self.sim = sim
+        self.noc = noc
+        self.tile_id = int(tile_id)
+        self.manager_index = int(manager_index)
+        self.constants = constants
+        self.mrs = MigrationRegisterFile(
+            capacity=mr_capacity, entry_bytes=constants.mr_entry_bytes
+        )
+        self.prs = ParameterRegisters()
+        self.send_fifo = HardwareFifo(constants.send_fifo_entries)
+        self.recv_fifo = HardwareFifo(constants.recv_fifo_entries)
+        self.on_migrate_in = on_migrate_in
+        self.on_update = on_update
+        self.on_migrate_rejected = on_migrate_rejected
+        self.migrator_ns_per_entry = float(migrator_ns_per_entry)
+        self.stats = MessagingStats()
+        self._peers: Dict[int, "ManagerTileHw"] = {}
+        self._pending_acks: Dict[int, List[Request]] = {}
+        self._next_migrate_id = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, peers: List["ManagerTileHw"]) -> None:
+        """Register every manager tile (including self) for routing."""
+        self._peers = {p.manager_index: p for p in peers}
+
+    def _peer(self, manager_index: int) -> "ManagerTileHw":
+        if manager_index not in self._peers:
+            raise KeyError(f"manager {manager_index} is not connected")
+        return self._peers[manager_index]
+
+    # ------------------------------------------------------------------
+    # Software-visible operations
+    # ------------------------------------------------------------------
+    def configure(self, **params: object) -> None:
+        """PREDICT_CONFIG: core-local PR write (no NoC traffic)."""
+        self.prs.configure(**params)
+
+    def send_migrate(self, dst_manager: int, requests: List[Request]) -> bool:
+        """MIGRATE ``requests`` (already removed from the local MR tail)
+        to another manager.  Returns False and leaves the caller to
+        restore the requests if the send FIFO lacks room (back-pressure).
+        """
+        if dst_manager == self.manager_index:
+            raise ValueError("cannot migrate to self")
+        if not requests:
+            return True
+        if self.send_fifo.free_slots() < len(requests):
+            self.stats.send_backpressure += 1
+            return False
+        for r in requests:
+            self.send_fifo.push(r)
+        migrate_id = self._next_migrate_id
+        self._next_migrate_id += 1
+        self._pending_acks[migrate_id] = list(requests)
+        payload = _Payload(
+            kind=MessageType.MIGRATE,
+            src_manager=self.manager_index,
+            dst_manager=dst_manager,
+            requests=list(requests),
+            migrate_id=migrate_id,
+        )
+        dst_tile = self._peer(dst_manager).tile_id
+        size = MIGRATE_HEADER_BYTES + len(requests) * self.constants.mr_entry_bytes
+        # The migrator reads req_num pointers from local MRs into the
+        # send FIFO before injection (register-to-register movement).
+        inject_delay = len(requests) * self.migrator_ns_per_entry
+        self.sim.schedule(
+            inject_delay,
+            self._inject,
+            NocMessage(
+                src=self.tile_id,
+                dst=dst_tile,
+                payload=payload,
+                size_bytes=size,
+                vnet=ALTOCUMULUS_VNET,
+            ),
+        )
+        self.stats.migrates_sent += 1
+        self.stats.descriptors_sent += len(requests)
+        return True
+
+    def broadcast_update(self, queue_len: int) -> None:
+        """UPDATE: broadcast the local queue length to all other managers."""
+        others = [p for p in self._peers.values() if p is not self]
+        for peer in others:
+            payload = _Payload(
+                kind=MessageType.UPDATE,
+                src_manager=self.manager_index,
+                dst_manager=peer.manager_index,
+                queue_len=queue_len,
+            )
+            self.noc.send(
+                NocMessage(
+                    src=self.tile_id,
+                    dst=peer.tile_id,
+                    payload=payload,
+                    size_bytes=UPDATE_BYTES,
+                    vnet=ALTOCUMULUS_VNET,
+                ),
+                self._deliver,
+            )
+            self.stats.updates_sent += 1
+
+    # ------------------------------------------------------------------
+    # Hardware internals
+    # ------------------------------------------------------------------
+    def _inject(self, msg: NocMessage) -> None:
+        # Entries leave the send FIFO as the message enters the NoC.
+        payload: _Payload = msg.payload
+        for _ in payload.requests:
+            self.send_fifo.pop()
+        self.noc.send(msg, self._deliver)
+
+    def _deliver(self, msg: NocMessage) -> None:
+        """Controller receive path: runs on the *destination* tile."""
+        payload: _Payload = msg.payload
+        receiver = self._peer(payload.dst_manager)
+        receiver._handle(payload)
+
+    def _handle(self, payload: _Payload) -> None:
+        if payload.dst_manager != self.manager_index:
+            raise RuntimeError(
+                f"misrouted message for manager {payload.dst_manager} "
+                f"delivered to {self.manager_index}"
+            )
+        if payload.kind is MessageType.UPDATE:
+            self.stats.updates_received += 1
+            self.prs.queue_lengths = list(self.prs.queue_lengths)
+            if self.on_update is not None:
+                self.on_update(payload.src_manager, payload.queue_len)
+            return
+        if payload.kind is MessageType.MIGRATE:
+            self._receive_migrate(payload)
+            return
+        if payload.kind in (MessageType.ACK, MessageType.NACK):
+            self._receive_ack(payload)
+            return
+        raise RuntimeError(f"unexpected message kind {payload.kind}")
+
+    def _receive_migrate(self, payload: _Payload) -> None:
+        requests = payload.requests
+        mr_free = self.mrs.free_slots()
+        room = self.recv_fifo.free_slots() >= len(requests) and (
+            mr_free is None or mr_free >= len(requests)
+        )
+        if not room:
+            self._reply(payload, MessageType.NACK)
+            return
+        self.recv_fifo.push_many(requests)
+        # The migrator drains the receive FIFO into the local MR file.
+        drain = len(requests) * self.migrator_ns_per_entry
+        self.sim.schedule(drain, self._drain_into_mrs, payload)
+
+    def _drain_into_mrs(self, payload: _Payload) -> None:
+        for _ in payload.requests:
+            self.recv_fifo.pop()
+        for r in payload.requests:
+            r.migrations += 1
+            self.mrs.enqueue(r)
+        self.stats.descriptors_accepted += len(payload.requests)
+        self._reply(payload, MessageType.ACK)
+        if self.on_migrate_in is not None:
+            self.on_migrate_in(payload.requests, payload.src_manager)
+
+    def _reply(self, original: _Payload, kind: MessageType) -> None:
+        reply = _Payload(
+            kind=kind,
+            src_manager=self.manager_index,
+            dst_manager=original.src_manager,
+            migrate_id=original.migrate_id,
+            requests=original.requests if kind is MessageType.NACK else [],
+        )
+        src_tile = self._peer(original.src_manager).tile_id
+        self.noc.send(
+            NocMessage(
+                src=self.tile_id,
+                dst=src_tile,
+                payload=reply,
+                size_bytes=ACK_BYTES,
+                vnet=ALTOCUMULUS_VNET,
+            ),
+            self._deliver,
+        )
+
+    def _receive_ack(self, payload: _Payload) -> None:
+        pending = self._pending_acks.pop(payload.migrate_id, None)
+        if pending is None:
+            raise RuntimeError(
+                f"manager {self.manager_index} got {payload.kind.value} for "
+                f"unknown migrate id {payload.migrate_id}"
+            )
+        if payload.kind is MessageType.ACK:
+            self.stats.migrates_acked += 1
+            return
+        # NACK: the destination rejected the batch; restore it locally.
+        # The slots are still logically reserved at the source, so the
+        # restore bypasses the capacity check.
+        self.stats.migrates_nacked += 1
+        for r in pending:
+            self.mrs.enqueue_reserved(r)
+        if self.on_migrate_rejected is not None:
+            self.on_migrate_rejected(pending, payload.src_manager)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight_descriptors(self) -> int:
+        """Descriptors sent but not yet ACKed/NACKed."""
+        return sum(len(v) for v in self._pending_acks.values())

@@ -1,0 +1,105 @@
+"""NIC models: steering policies and NIC-to-core delivery costs.
+
+Two orthogonal concerns live here:
+
+* **Steering** -- which receive queue gets a packet.  :class:`RssSteering`
+  implements the commodity load-oblivious policies the paper models in
+  Fig. 9: ``connection`` (hash of the flow tuple, real RSS), ``random``
+  and ``round-robin``.
+* **Delivery** -- the latency from wire arrival until the request is
+  visible to the scheduling layer.  :class:`PcieDelivery` models a
+  commodity PCIe-attached NIC; :class:`HwTerminatedDelivery` models the
+  integrated NICs of Nebula/nanoPU/AC_int where the network stack is
+  terminated in hardware (~30 ns total).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.pcie import PcieLink
+from repro.workload.connections import ConnectionPool
+from repro.workload.request import Request
+
+
+class DeliveryModel(abc.ABC):
+    """Latency from NIC wire arrival to scheduler visibility."""
+
+    @abc.abstractmethod
+    def delivery_ns(self, request: Request) -> float:
+        """Per-request NIC -> host delivery latency in ns."""
+
+
+class HwTerminatedDelivery(DeliveryModel):
+    """Hardware-terminated network stack: MAC + serial I/O + transport
+    interpretation, ~30 ns total (nanoPU/Nebula style)."""
+
+    def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
+        self.constants = constants
+
+    def delivery_ns(self, request: Request) -> float:
+        return self.constants.nic_terminate_ns
+
+
+class PcieDelivery(DeliveryModel):
+    """Commodity NIC behind PCIe: termination plus a size-dependent
+    PCIe transfer (200-800 ns)."""
+
+    def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
+        self.constants = constants
+        self._pcie = PcieLink(constants)
+
+    def delivery_ns(self, request: Request) -> float:
+        return self.constants.nic_terminate_ns + self._pcie.transfer_ns(
+            request.size_bytes
+        )
+
+
+class RssSteering:
+    """Load-oblivious receive-queue selection.
+
+    Policies (Fig. 9):
+
+    * ``"connection"`` -- hash the flow id (default; real RSS behaviour).
+      Hot flows pin to one queue, creating persistent imbalance.
+    * ``"random"`` -- uniformly random queue per packet.
+    * ``"round_robin"`` -- strict rotation; the most balanced oblivious
+      policy, but still ignorant of queue occupancy and service times.
+    """
+
+    POLICIES = ("connection", "random", "round_robin")
+
+    def __init__(
+        self,
+        n_queues: int,
+        policy: str = "connection",
+        rng: Optional[np.random.Generator] = None,
+        pool: Optional[ConnectionPool] = None,
+    ) -> None:
+        if n_queues <= 0:
+            raise ValueError(f"need at least one queue, got {n_queues}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; pick from {self.POLICIES}")
+        if policy == "random" and rng is None:
+            raise ValueError("random policy requires an rng")
+        self.n_queues = int(n_queues)
+        self.policy = policy
+        self.rng = rng
+        self.pool = pool or ConnectionPool(1 << 16)
+        self._rr_next = 0
+
+    def pick_queue(self, request: Request) -> int:
+        """Choose the receive queue for a request."""
+        if self.policy == "connection":
+            return self.pool.hash_to_queue(request.connection, self.n_queues)
+        if self.policy == "random":
+            assert self.rng is not None
+            return int(self.rng.integers(0, self.n_queues))
+        # round_robin
+        queue = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.n_queues
+        return queue

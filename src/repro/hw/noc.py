@@ -1,0 +1,163 @@
+"""Network-on-chip message transport.
+
+Altocumulus messages (MIGRATE, UPDATE, ACK/NACK) travel over the NoC on
+a dedicated virtual network with deterministic routing (Sec. V-B).  The
+model charges:
+
+* per-hop latency (3 ns default) times the XY hop count, plus
+* serialization of the message's flits at the injection port, plus
+* optional endpoint congestion -- each receiver drains messages one at a
+  time, so bursts of migrations toward one manager queue up.
+
+Because the paper observes the NoC is lightly loaded for scheduling
+traffic [58], link-level contention is *not* modelled; endpoint
+serialization captures the only congestion the protocol can create
+(many-to-one migration bursts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.hw.topology import MeshTopology
+
+#: Width of one NoC flit in bytes (typical 128-bit links).
+FLIT_BYTES = 16
+
+
+@dataclass
+class NocMessage:
+    """One message in flight: source/destination tiles and opaque payload."""
+
+    src: int
+    dst: int
+    payload: Any
+    size_bytes: int = FLIT_BYTES
+    vnet: int = 0
+    injected_at: float = 0.0
+    delivered_at: Optional[float] = None
+
+    @property
+    def flits(self) -> int:
+        """Number of flits the message occupies (header rides in flit 0)."""
+        return max(1, math.ceil(self.size_bytes / FLIT_BYTES))
+
+
+@dataclass
+class NocStats:
+    """Aggregate NoC accounting for overhead studies."""
+
+    messages: int = 0
+    bytes: int = 0
+    total_latency_ns: float = 0.0
+    by_vnet: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return self.total_latency_ns / self.messages if self.messages else 0.0
+
+
+class Noc:
+    """Delivers messages between mesh tiles with hop + serialization delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: MeshTopology,
+        per_hop_ns: float = 3.0,
+        flit_ns: float = 1.0,
+        endpoint_serialization: bool = True,
+        link_contention: bool = False,
+    ) -> None:
+        if per_hop_ns < 0 or flit_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        self.sim = sim
+        self.topology = topology
+        self.per_hop_ns = float(per_hop_ns)
+        self.flit_ns = float(flit_ns)
+        self.endpoint_serialization = endpoint_serialization
+        #: Optional higher-fidelity mode: serialize messages on each
+        #: XY-route link, not just the ejection port.  Off by default
+        #: because scheduling traffic leaves the NoC lightly loaded
+        #: ([58], Sec. V-B) -- the mode exists to *verify* that claim.
+        self.link_contention = link_contention
+        self.stats = NocStats()
+        # Earliest time each receiver's ejection port frees up.
+        self._ejection_free: Dict[int, float] = {}
+        # Earliest time each directed link (a -> b) frees up.
+        self._link_free: Dict[Tuple[int, int], float] = {}
+
+    def latency(self, msg: NocMessage) -> float:
+        """Uncontended wire latency for a message."""
+        hops = self.topology.hops(msg.src, msg.dst)
+        return hops * self.per_hop_ns + msg.flits * self.flit_ns
+
+    def send(
+        self,
+        msg: NocMessage,
+        on_delivery: Callable[[NocMessage], None],
+    ) -> float:
+        """Inject ``msg`` now; invoke ``on_delivery(msg)`` at arrival.
+
+        Returns the scheduled delivery time.  If endpoint serialization
+        is enabled and the destination's ejection port is still draining
+        an earlier message, delivery is pushed back accordingly.
+        """
+        msg.injected_at = self.sim.now
+        if self.link_contention:
+            arrival = self._contended_arrival(msg)
+        else:
+            arrival = self.sim.now + self.latency(msg)
+        if self.endpoint_serialization:
+            free_at = self._ejection_free.get(msg.dst, 0.0)
+            arrival = max(arrival, free_at)
+            # The ejection port is busy for the message's flit time.
+            self._ejection_free[msg.dst] = arrival + msg.flits * self.flit_ns
+        msg.delivered_at = arrival
+        self.stats.messages += 1
+        self.stats.bytes += msg.size_bytes
+        self.stats.total_latency_ns += arrival - msg.injected_at
+        self.stats.by_vnet[msg.vnet] = self.stats.by_vnet.get(msg.vnet, 0) + 1
+        self.sim.schedule_at(arrival, on_delivery, msg)
+        return arrival
+
+    def _contended_arrival(self, msg: NocMessage) -> float:
+        """Wormhole-style traversal with per-link serialization.
+
+        The head flit waits for each link on the XY route to free, then
+        holds it for the message's serialization time; the tail flit
+        arrives one serialization window after the head.
+        """
+        serialization = msg.flits * self.flit_ns
+        t = self.sim.now
+        for link in self.topology.route_links(msg.src, msg.dst):
+            t = max(t, self._link_free.get(link, 0.0))
+            self._link_free[link] = t + serialization
+            t += self.per_hop_ns
+        return t + serialization
+
+    def broadcast(
+        self,
+        src: int,
+        dsts: "list[int]",
+        payload: Any,
+        size_bytes: int,
+        on_delivery: Callable[[NocMessage], None],
+        vnet: int = 0,
+    ) -> None:
+        """Send one copy of ``payload`` from ``src`` to each tile in ``dsts``.
+
+        Models UPDATE broadcasts: one unicast per destination (no tree),
+        matching the simple controller hardware of Fig. 6.
+        """
+        for dst in dsts:
+            if dst == src:
+                continue
+            self.send(
+                NocMessage(src=src, dst=dst, payload=payload,
+                           size_bytes=size_bytes, vnet=vnet),
+                on_delivery,
+            )

@@ -1,0 +1,32 @@
+"""PCIe link model.
+
+Commodity NIC-to-CPU transfers cross PCIe, whose latency the paper takes
+from Neugebauer et al. [46]: 200-800 ns depending on transfer size.  The
+model interpolates linearly between the endpoints up to a "full" size,
+saturating beyond it.  The AC_rss and RSS-baseline systems charge this
+per delivered request; integrated-NIC systems (Nebula, nanoPU, AC_int)
+bypass it.
+"""
+
+from __future__ import annotations
+
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+
+
+class PcieLink:
+    """Size-dependent PCIe transfer latency."""
+
+    def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
+        self.constants = constants
+
+    def transfer_ns(self, size_bytes: int) -> float:
+        """Latency to move ``size_bytes`` across the link, in ns."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        c = self.constants
+        frac = min(1.0, size_bytes / c.pcie_full_size_bytes)
+        return c.pcie_min_ns + frac * (c.pcie_max_ns - c.pcie_min_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.constants
+        return f"<PcieLink {c.pcie_min_ns:.0f}-{c.pcie_max_ns:.0f}ns>"

@@ -1,0 +1,45 @@
+"""QPI (inter-socket) link model.
+
+Systems larger than one coherence domain pay QPI latency (150 ns
+point-to-point [6]) whenever a request or scheduling message crosses
+sockets.  The Fig. 14 experiment caps itself at 64 cores precisely
+because "large core count needs cross QPI bus, whose latency is
+detrimental for 50 ns GET/SET" -- this model lets the scalability
+experiments quantify that.
+"""
+
+from __future__ import annotations
+
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+
+
+class QpiLink:
+    """Socket-crossing cost for a system partitioned into sockets."""
+
+    def __init__(
+        self,
+        cores_per_socket: int = 64,
+        constants: HwConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        if cores_per_socket <= 0:
+            raise ValueError(f"cores_per_socket must be positive, got {cores_per_socket}")
+        self.cores_per_socket = int(cores_per_socket)
+        self.constants = constants
+
+    def socket_of(self, core_id: int) -> int:
+        """Which socket a core lives on."""
+        if core_id < 0:
+            raise ValueError(f"core id must be >= 0, got {core_id}")
+        return core_id // self.cores_per_socket
+
+    def crossing_ns(self, src_core: int, dst_core: int) -> float:
+        """Latency added if the two cores are on different sockets."""
+        if self.socket_of(src_core) == self.socket_of(dst_core):
+            return 0.0
+        return self.constants.qpi_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QpiLink {self.constants.qpi_ns:.0f}ns "
+            f"cores/socket={self.cores_per_socket}>"
+        )

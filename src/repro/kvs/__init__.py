@@ -1,0 +1,35 @@
+"""A MICA-like in-memory key-value store (Sec. IX).
+
+MICA [Lim et al., NSDI'14] is the end-to-end application the paper (and
+Nebula / nanoPU / HERD before it) evaluates.  This package implements a
+functional Python equivalent:
+
+* :mod:`repro.kvs.log` -- the DRAM-resident circular log holding values.
+* :mod:`repro.kvs.hashtable` -- the bucketed hash index over the log.
+* :mod:`repro.kvs.store` -- EREW-partitioned store (one partition per
+  owner, no concurrency control -- MICA's highest-performance mode).
+* :mod:`repro.kvs.dataset` -- the paper's dataset shape: 1.6M pairs of
+  16 B keys / 512 B values (~819 MB per manager partition; scaled down
+  by default for test-speed).
+* :mod:`repro.kvs.handlers` -- GET/SET/SCAN RPC handlers with the
+  service-time model for the eRPC (~850 ns) and nanoRPC (~50 ns)
+  stacks, plus the EREW remote-owner penalty migrated requests pay.
+"""
+
+from repro.kvs.log import CircularLog, LogRecord
+from repro.kvs.hashtable import HashIndex
+from repro.kvs.store import MicaPartition, MicaStore
+from repro.kvs.dataset import Dataset, build_dataset
+from repro.kvs.handlers import MicaServiceModel, MicaWorkload
+
+__all__ = [
+    "CircularLog",
+    "LogRecord",
+    "HashIndex",
+    "MicaPartition",
+    "MicaStore",
+    "Dataset",
+    "build_dataset",
+    "MicaServiceModel",
+    "MicaWorkload",
+]

@@ -1,0 +1,247 @@
+"""MICA RPC handlers: operation mix, service-time model and EREW
+execution semantics (Sec. IX).
+
+The service-time model follows the two network stacks the paper ports
+MICA onto:
+
+* **eRPC** -- full stack lowers RPC latency to ~850 ns [27]; per-op
+  costs ride on top.
+* **nanoRPC** -- hardware-terminated stack at ~40 ns [23]; GET/SET
+  handlers complete in ~50 ns, SCANs in ~50 us (the Fig. 14 mix:
+  99.5% GET/SET + 0.5% SCAN).
+
+GETs fetch the value from the MICA log and write it to the response
+buffer, so they run slightly longer than SETs (Sec. IX-B).  Hash-bucket
+probe depth adds a small per-probe cost, making service times respond
+to the actual store state.
+
+EREW penalty: each key partition is owned by one manager group.  A
+request that was migrated away from its owner group pays one extra
+remote cache access (or a QPI crossing on multi-socket layouts) to
+reach the owner's partition -- the application-level concurrency
+overhead the paper measures as a 13.6-15.4% throughput@SLO loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.memory import MemoryBandwidthModel
+from repro.kvs.dataset import Dataset
+from repro.workload.connections import ConnectionPool
+from repro.workload.request import Request, RequestKind
+
+
+@dataclass(frozen=True)
+class MicaServiceModel:
+    """On-core handler time for each MICA operation (all ns)."""
+
+    stack_ns: float
+    get_extra_ns: float
+    set_extra_ns: float
+    scan_ns: float
+    probe_ns: float = 2.0
+    scan_items: int = 64
+
+    @staticmethod
+    def erpc() -> "MicaServiceModel":
+        """eRPC stack: ~850 ns on-CPU per small RPC."""
+        return MicaServiceModel(
+            stack_ns=850.0, get_extra_ns=100.0, set_extra_ns=50.0, scan_ns=50_000.0
+        )
+
+    @staticmethod
+    def nanorpc() -> "MicaServiceModel":
+        """nanoRPC stack: ~40 ns stack, ~50 ns GET/SET, ~50 us SCAN."""
+        return MicaServiceModel(
+            stack_ns=40.0, get_extra_ns=15.0, set_extra_ns=10.0, scan_ns=50_000.0
+        )
+
+    def service_ns(self, kind: RequestKind, probe_depth: int) -> float:
+        """Handler time for one operation."""
+        if kind is RequestKind.SCAN:
+            return self.scan_ns
+        # DELETE is a SET without the value write; GET pays the log
+        # fetch + response-buffer write.
+        extra = self.get_extra_ns if kind is RequestKind.GET else self.set_extra_ns
+        if kind is RequestKind.DELETE:
+            extra = self.set_extra_ns * 0.5
+        return self.stack_ns + extra + probe_depth * self.probe_ns
+
+    def mean_service_ns(self, get_fraction: float, scan_fraction: float) -> float:
+        """Analytic mean of the op mix (probe depth ~ 1)."""
+        if not 0 <= scan_fraction <= 1 or not 0 <= get_fraction <= 1:
+            raise ValueError("fractions must be in [0,1]")
+        gs = 1.0 - scan_fraction
+        get = self.stack_ns + self.get_extra_ns + self.probe_ns
+        set_ = self.stack_ns + self.set_extra_ns + self.probe_ns
+        return gs * (get_fraction * get + (1 - get_fraction) * set_) + (
+            scan_fraction * self.scan_ns
+        )
+
+
+class MicaWorkload:
+    """Binds a dataset, an op mix and a service model into the hooks the
+    simulation needs: a ``request_factory`` for the load generator and
+    an ``execute`` hook that runs the op against the real store.
+
+    Partition-to-group locality: the workload pre-computes, for each
+    partition, a connection id whose RSS hash lands on the owner group,
+    so un-migrated requests always execute in their EREW owner's group
+    (the paper's partition-per-manager mapping).
+    """
+
+    #: Per-op concurrency-control cost in CREW mode (version check /
+    #: optimistic validation on every access -- the overhead EREW avoids,
+    #: Sec. IX-B).
+    CREW_CONTROL_NS = 8.0
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        model: MicaServiceModel,
+        n_groups: int,
+        get_fraction: float = 0.5,
+        scan_fraction: float = 0.0,
+        delete_fraction: float = 0.0,
+        zipf_s: float = 0.0,
+        mode: str = "erew",
+        seed: int = 11,
+        constants: HwConstants = DEFAULT_CONSTANTS,
+        groups_per_socket: Optional[int] = None,
+        memory: Optional[MemoryBandwidthModel] = None,
+    ) -> None:
+        if dataset.store.n_partitions != n_groups:
+            raise ValueError(
+                f"dataset has {dataset.store.n_partitions} partitions but the "
+                f"system has {n_groups} groups; EREW needs one partition per group"
+            )
+        if not 0 <= get_fraction <= 1 or not 0 <= scan_fraction <= 1:
+            raise ValueError("fractions must be in [0,1]")
+        if not 0 <= delete_fraction <= 1:
+            raise ValueError("delete_fraction must be in [0,1]")
+        if scan_fraction + delete_fraction > 1:
+            raise ValueError("scan + delete fractions exceed 1")
+        if mode not in ("erew", "crew"):
+            raise ValueError(f"mode must be 'erew' or 'crew', got {mode!r}")
+        self.dataset = dataset
+        self.model = model
+        self.n_groups = int(n_groups)
+        self.get_fraction = float(get_fraction)
+        self.scan_fraction = float(scan_fraction)
+        self.delete_fraction = float(delete_fraction)
+        self.mode = mode
+        self.zipf_s = float(zipf_s)
+        self.constants = constants
+        self.groups_per_socket = groups_per_socket
+        #: Optional shared DRAM bandwidth model: value transfers then
+        #: pay contention-dependent latency (Table I's "mem. b/w"
+        #: bottleneck becomes observable at high throughput).
+        self.memory = memory
+        self._rng = np.random.default_rng(seed)
+        self._pool = ConnectionPool(max(1024, 64 * n_groups))
+        self._conn_for_group = self._find_representative_connections()
+        sample = dataset.store.get(dataset.keys[0]) if dataset.keys else None
+        self._sample_value = sample or b"\x00" * dataset.value_bytes
+        self.executed = 0
+        self.remote_accesses = 0
+
+    # ------------------------------------------------------------------
+    #: Connections per group: enough that a baseline with per-core
+    #: queues still sees a realistic many-flow mix.
+    CONNS_PER_GROUP = 32
+
+    def _find_representative_connections(self) -> list:
+        """For each group, a pool of connection ids that RSS-hash onto it
+        (under the group-count modulus this workload targets)."""
+        found: list = [[] for _ in range(self.n_groups)]
+        remaining = self.n_groups
+        conn = 0
+        while remaining and conn < 4_000_000:
+            g = self._pool.hash_to_queue(conn, self.n_groups)
+            bucket = found[g]
+            if len(bucket) < self.CONNS_PER_GROUP:
+                bucket.append(conn)
+                if len(bucket) == self.CONNS_PER_GROUP:
+                    remaining -= 1
+            conn += 1
+        if any(not bucket for bucket in found):
+            raise RuntimeError("could not find connections covering all groups")
+        return found
+
+    # ------------------------------------------------------------------
+    # Load-generator hook
+    # ------------------------------------------------------------------
+    def request_factory(self, request: Request) -> None:
+        """Assign op kind, key, owner-aligned connection and service time."""
+        r = self._rng.random()
+        if r < self.scan_fraction:
+            kind = RequestKind.SCAN
+        elif r < self.scan_fraction + self.delete_fraction:
+            kind = RequestKind.DELETE
+        else:
+            rest = 1.0 - self.scan_fraction - self.delete_fraction
+            threshold = self.scan_fraction + self.delete_fraction
+            if r < threshold + rest * self.get_fraction:
+                kind = RequestKind.GET
+            else:
+                kind = RequestKind.SET
+        key = self.dataset.sample_key(self._rng, self.zipf_s)
+        owner = self.dataset.store.owner_of(key)
+        request.kind = kind
+        request.key = key
+        pool = self._conn_for_group[owner]
+        request.connection = pool[int(self._rng.integers(0, len(pool)))]
+        probe = self.dataset.store.partitions[owner].index.bucket_load(key)
+        request.service_time = self.model.service_ns(kind, probe)
+        if self.mode == "crew":
+            # CREW pays concurrency control on every access.
+            request.service_time += self.CREW_CONTROL_NS
+        request.remaining = request.service_time
+
+    # ------------------------------------------------------------------
+    # Execution hook (AltocumulusSystem.execution_penalty compatible)
+    # ------------------------------------------------------------------
+    def execute(self, request: Request) -> float:
+        """Run the op against the store; return extra on-core latency
+        (the EREW remote-owner penalty for migrated requests)."""
+        if request.key is None:
+            return 0.0
+        store = self.dataset.store
+        self.executed += 1
+        if request.kind is RequestKind.GET:
+            request.app_result = store.get(request.key)
+        elif request.kind is RequestKind.SET:
+            store.set(request.key, self._sample_value)
+        elif request.kind is RequestKind.SCAN:
+            request.app_result = len(store.scan(request.key, self.model.scan_items))
+        elif request.kind is RequestKind.DELETE:
+            request.app_result = store.delete(request.key)
+        penalty = 0.0
+        if self.memory is not None and request.kind in (
+            RequestKind.GET, RequestKind.SET
+        ):
+            # The DRAM-resident value moves once per GET/SET; under
+            # aggregate bandwidth pressure this inflates.
+            penalty += self.memory.access(self.dataset.value_bytes)
+        if self.mode == "crew" and request.kind in (
+            RequestKind.GET, RequestKind.SCAN
+        ):
+            # CREW: reads are concurrent everywhere -- no ownership
+            # penalty even for migrated requests.
+            return penalty
+        if request.migrations > 0:
+            # Migrated away from the EREW owner: one remote access to the
+            # owner's partition.
+            self.remote_accesses += 1
+            penalty = self.constants.coherence_msg_ns
+            if self.groups_per_socket is not None:
+                owner = store.owner_of(request.key)
+                here = request.group_id if request.group_id is not None else owner
+                if owner // self.groups_per_socket != here // self.groups_per_socket:
+                    penalty += self.constants.qpi_ns
+        return penalty

@@ -1,0 +1,137 @@
+"""The EREW-partitioned MICA store (Sec. IX-B).
+
+EREW (exclusive read, exclusive write) assigns each key partition to
+exactly one owner; there is no concurrency control, which is why MICA
+scales linearly with cores.  The paper maps one partition per *manager
+thread* (not per core) and lets any worker in the group serve it --
+migrated requests then pay one extra remote access to the key's owner,
+the application-level overhead quantified in Sec. IX-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.kvs.hashtable import HashIndex, key_hash
+from repro.kvs.log import CircularLog
+
+
+@dataclass
+class StoreStats:
+    """Per-partition operation counters."""
+    gets: int = 0
+    sets: int = 0
+    scans: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MicaPartition:
+    """One EREW partition: a hash index over a circular log."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        n_buckets: int = 2_048,
+        log_bytes: int = 8 << 20,
+    ) -> None:
+        self.partition_id = int(partition_id)
+        self.index = HashIndex(n_buckets)
+        self.log = CircularLog(log_bytes)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; None on miss (absent or evicted)."""
+        self.stats.gets += 1
+        offset = self.index.get(key)
+        if offset is None:
+            self.stats.misses += 1
+            return None
+        record = self.log.read(offset)
+        if record is None or record.key != bytes(key):
+            # Dangling index entry: the log wrapped past it.
+            self.index.delete(key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record.value
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Upsert: append to the log, repoint the index."""
+        self.stats.sets += 1
+        record = self.log.append(key, value)
+        self.index.put(key, record.offset)
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        """Range-style walk returning up to ``count`` live pairs."""
+        self.stats.scans += 1
+        out: List[Tuple[bytes, bytes]] = []
+        for key, offset in self.index.scan(start_key, count):
+            record = self.log.read(offset)
+            if record is not None:
+                out.append((key, record.value))
+        return out
+
+    def delete(self, key: bytes) -> bool:
+        """Drop the index entry (the log record ages out naturally)."""
+        self.stats.deletes += 1
+        return self.index.delete(key)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class MicaStore:
+    """EREW store: ``n_partitions`` partitions, keys hashed to owners."""
+
+    def __init__(
+        self,
+        n_partitions: int,
+        n_buckets_per_partition: int = 2_048,
+        log_bytes_per_partition: int = 8 << 20,
+    ) -> None:
+        if n_partitions <= 0:
+            raise ValueError(f"need at least one partition, got {n_partitions}")
+        self.partitions: List[MicaPartition] = [
+            MicaPartition(i, n_buckets_per_partition, log_bytes_per_partition)
+            for i in range(n_partitions)
+        ]
+
+    # ------------------------------------------------------------------
+    def owner_of(self, key: bytes) -> int:
+        """The EREW owner partition for a key (stable hash)."""
+        return key_hash(bytes(key)) % len(self.partitions)
+
+    def partition(self, index: int) -> MicaPartition:
+        return self.partitions[index]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.partitions[self.owner_of(key)].get(key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.partitions[self.owner_of(key)].set(key, value)
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        return self.partitions[self.owner_of(start_key)].scan(start_key, count)
+
+    def delete(self, key: bytes) -> bool:
+        return self.partitions[self.owner_of(key)].delete(key)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def __len__(self) -> int:
+        return self.total_records()

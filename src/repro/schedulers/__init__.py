@@ -1,0 +1,37 @@
+"""RPC scheduling systems: the state-of-the-art baselines of Table I.
+
+Every system shares the :class:`~repro.schedulers.base.RpcSystem`
+harness (NIC delivery -> policy -> cores) and differs only in policy:
+
+* :class:`~repro.schedulers.rss.RssSystem` -- commodity NIC RSS,
+  d-FCFS per-core queues (the "Emulated Commodity RSS NIC" baseline).
+* :class:`~repro.schedulers.rss.IxSystem` -- IX-style kernel-bypass
+  dataplane: RSS d-FCFS with batched run-to-completion.
+* :class:`~repro.schedulers.work_stealing.ZygosSystem` -- d-FCFS plus
+  software work stealing (random victim, 200-400 ns per steal).
+* :class:`~repro.schedulers.centralized.ShinjukuSystem` -- centralized
+  dispatcher core, c-FCFS with microsecond-scale preemption.
+* :class:`~repro.schedulers.jbsq.JbsqSystem` -- NIC-driven hardware
+  JBSQ(n): RPCValet, Nebula and nanoPU configurations.
+"""
+
+from repro.schedulers.base import RpcSystem, SystemStats
+from repro.schedulers.rss import IxSystem, RssSystem
+from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
+from repro.schedulers.work_stealing import ZygosSystem
+from repro.schedulers.centralized import ShinjukuSystem
+from repro.schedulers.jbsq import JbsqSystem, nanopu, nebula, rpcvalet
+
+__all__ = [
+    "RpcSystem",
+    "SystemStats",
+    "RssSystem",
+    "IxSystem",
+    "RssPlusPlusSystem",
+    "ZygosSystem",
+    "ShinjukuSystem",
+    "JbsqSystem",
+    "nebula",
+    "nanopu",
+    "rpcvalet",
+]

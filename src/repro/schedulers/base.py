@@ -1,0 +1,164 @@
+"""The common RPC-system harness.
+
+An :class:`RpcSystem` owns the cores and receives requests from the load
+generator via :meth:`offer`.  The flow for every scheduler is:
+
+    wire arrival --(NIC delivery latency)--> ``_deliver`` (policy)
+    --> core executes --> ``_request_completed`` --> policy picks next
+
+Subclasses implement ``_deliver`` (where does an arriving request go?)
+and ``_after_complete`` (what does a freed core do next?), optionally
+``_after_preempt`` for quantum-preemptive policies.
+
+The harness also handles end-of-run detection: once ``expect(n)`` has
+been called and *n* requests have completed (or been dropped), it stops
+the simulator so periodic timers don't keep the event heap alive.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.cores import Core
+from repro.hw.nic import DeliveryModel, HwTerminatedDelivery
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.request import Request
+
+
+@dataclass
+class SystemStats:
+    """Aggregate counters every system maintains."""
+
+    offered: int = 0
+    completed: int = 0
+    dropped: int = 0
+    scheduling_ops: int = 0
+    scheduling_ns: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Increment a system-specific counter."""
+        self.extra[key] = self.extra.get(key, 0.0) + amount
+
+
+class RpcSystem(abc.ABC):
+    """Base class wiring NIC delivery, scheduling policy, and cores."""
+
+    #: Human-readable system name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        n_cores: int,
+        delivery: Optional[DeliveryModel] = None,
+        constants: HwConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        self.sim = sim
+        self.streams = streams
+        self.constants = constants
+        self.delivery = delivery or HwTerminatedDelivery(constants)
+        self.cores: List[Core] = [
+            Core(sim, i, self._request_completed, self._request_preempted)
+            for i in range(n_cores)
+        ]
+        self.stats = SystemStats()
+        self.finished_requests: List[Request] = []
+        self._expected: Optional[int] = None
+        #: Called with each completing request (application execution for
+        #: systems without an in-band execution hook).
+        self.completion_hooks: List = []
+
+    # ------------------------------------------------------------------
+    # Load-generator interface
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> None:
+        """Wire arrival at the NIC.  The latency clock starts here."""
+        self.stats.offered += 1
+        delay = self.delivery.delivery_ns(request)
+        self.sim.schedule(delay, self._deliver, request)
+
+    def expect(self, n_requests: int) -> None:
+        """Stop the simulation once ``n_requests`` terminate."""
+        if n_requests <= 0:
+            raise ValueError(f"expected count must be positive, got {n_requests}")
+        self._expected = n_requests
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _deliver(self, request: Request) -> None:
+        """Request is now visible to the host; enqueue / dispatch it."""
+
+    @abc.abstractmethod
+    def _after_complete(self, core: Core, request: Request) -> None:
+        """A core finished ``request``; give it (or others) more work."""
+
+    def _after_preempt(self, core: Core, request: Request) -> None:
+        """A quantum expired; requeue ``request`` and refill the core.
+
+        Only preemptive systems override this.
+        """
+        raise NotImplementedError(f"{self.name} does not preempt")
+
+    # ------------------------------------------------------------------
+    # Core callbacks (template methods; not overridden)
+    # ------------------------------------------------------------------
+    def _request_completed(self, core: Core, request: Request) -> None:
+        self.stats.completed += 1
+        self.finished_requests.append(request)
+        for hook in self.completion_hooks:
+            hook(request)
+        self._check_done()
+        self._after_complete(core, request)
+
+    def _request_preempted(self, core: Core, request: Request) -> None:
+        self._after_preempt(core, request)
+
+    def _drop(self, request: Request) -> None:
+        """Drop a request (bounded-queue overflow)."""
+        request.dropped = True
+        self.stats.dropped += 1
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if (
+            self._expected is not None
+            and self.stats.completed + self.stats.dropped >= self._expected
+        ):
+            self.sim.stop()
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _charge_scheduling(self, ns: float) -> None:
+        """Record one scheduling operation of the given cost."""
+        self.stats.scheduling_ops += 1
+        self.stats.scheduling_ns += ns
+
+    def idle_cores(self) -> List[Core]:
+        """Cores with nothing running right now."""
+        return [c for c in self.cores if not c.busy]
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Mean core utilization over ``elapsed_ns``."""
+        if elapsed_ns <= 0 or not self.cores:
+            return 0.0
+        return sum(c.busy_ns for c in self.cores) / (elapsed_ns * len(self.cores))
+
+    def shutdown(self) -> None:
+        """Cancel periodic machinery (timers); default: nothing to do."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} cores={len(self.cores)} "
+            f"done={self.stats.completed}/{self.stats.offered}>"
+        )

@@ -1,0 +1,68 @@
+"""Deterministic named random streams.
+
+Every stochastic component (arrival process, service-time sampler, RSS
+hash, work-stealing victim selection, ...) draws from its *own* named
+stream derived from one master seed.  This gives two properties the
+evaluation harness depends on:
+
+* **Reproducibility** -- the same master seed always produces the same
+  simulation, regardless of dictionary ordering or module import order.
+* **Variance isolation** -- changing one component (e.g. swapping the
+  scheduler) does not perturb the random draws of the others, so paired
+  comparisons between systems see identical workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent, deterministically seeded generators.
+
+    >>> streams = RandomStreams(master_seed=42)
+    >>> a = streams.get("arrivals")
+    >>> b = streams.get("service")
+    >>> a is streams.get("arrivals")
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        if master_seed < 0:
+            raise ValueError(f"master seed must be non-negative, got {master_seed}")
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def _seed_for(self, name: str) -> int:
+        """Derive a 64-bit child seed from the master seed and stream name.
+
+        A cryptographic hash (rather than Python's ``hash``) keeps the
+        derivation stable across interpreter runs and versions.
+        """
+        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = np.random.Generator(
+                np.random.PCG64(self._seed_for(name))
+            )
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create a child :class:`RandomStreams` namespaced under ``name``.
+
+        Useful when a subsystem (e.g. one manager group) needs several
+        internal streams of its own.
+        """
+        return RandomStreams(self._seed_for(name) % (2**63))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RandomStreams seed={self.master_seed} "
+            f"streams={sorted(self._streams)}>"
+        )

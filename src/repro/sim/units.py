@@ -1,0 +1,40 @@
+"""Time and frequency units used throughout the simulator.
+
+All simulation timestamps are expressed in **nanoseconds** as floats.
+These constants make call sites self-documenting: ``sim.schedule(5 * US, fn)``
+reads better than ``sim.schedule(5000.0, fn)``.
+"""
+
+#: One nanosecond -- the base unit of simulated time.
+NS = 1.0
+
+#: One microsecond in nanoseconds.
+US = 1_000.0
+
+#: One millisecond in nanoseconds.
+MS = 1_000_000.0
+
+#: One second in nanoseconds.
+SEC = 1_000_000_000.0
+
+#: One gigahertz expressed as cycles per nanosecond.
+GHZ = 1.0
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float = 2.0) -> float:
+    """Convert CPU cycles to nanoseconds at the given core frequency.
+
+    The paper assumes 2 GHz cores for all cycle-count arguments
+    (e.g. the 70-cycle coherence message in Sec. VII-A and the ~100-cycle
+    ``rdmsr``/``wrmsr`` syscalls in Sec. VI).
+    """
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return cycles / freq_ghz
+
+
+def ns_to_cycles(ns: float, freq_ghz: float = 2.0) -> float:
+    """Convert nanoseconds to CPU cycles at the given core frequency."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return ns * freq_ghz

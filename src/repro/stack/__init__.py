@@ -1,0 +1,57 @@
+"""RPC stack processing models (Fig. 2's layer decomposition).
+
+The paper distinguishes RPC *scheduling* (this repository's core
+subject) from RPC *stack processing*: transport protocol work, RPC
+header parsing, function-id dispatch and payload (de)serialization
+(Sec. II-B).  This package models the processing side compositionally:
+
+* :mod:`repro.stack.transport` -- transport-layer on-CPU cost:
+  kernel TCP/IP, kernel-bypass UDP (DPDK/eRPC style), and
+  hardware-terminated stacks (nanoPU/Nebula style).
+* :mod:`repro.stack.serialization` -- message schemas and
+  (de)serialization cost models: protobuf-like per-field encoding,
+  flat memcpy-style, and zero-copy (Zerializer-style).
+* :mod:`repro.stack.rpc_layer` -- the RPC layer itself: header parse,
+  dispatch, payload handling.
+* :mod:`repro.stack.profiles` -- named end-to-end compositions
+  (``tcpip``, ``erpc``, ``nanorpc``) whose 300 B request costs
+  reproduce the Fig. 1 processing bars.
+
+The models produce *on-CPU nanoseconds per message*; the Fig. 1 harness
+feeds them to the scheduling simulation as service-time components.
+"""
+
+from repro.stack.transport import (
+    HardwareTerminatedTransport,
+    KernelBypassTransport,
+    KernelTcpTransport,
+    TransportModel,
+)
+from repro.stack.serialization import (
+    FieldKind,
+    FlatSerializer,
+    MessageSchema,
+    ProtobufLikeSerializer,
+    SerializerModel,
+    ZeroCopySerializer,
+)
+from repro.stack.rpc_layer import RpcLayerModel
+from repro.stack.profiles import StackProfile, erpc_stack, nanorpc_stack, tcpip_stack
+
+__all__ = [
+    "TransportModel",
+    "KernelTcpTransport",
+    "KernelBypassTransport",
+    "HardwareTerminatedTransport",
+    "FieldKind",
+    "MessageSchema",
+    "SerializerModel",
+    "ProtobufLikeSerializer",
+    "FlatSerializer",
+    "ZeroCopySerializer",
+    "RpcLayerModel",
+    "StackProfile",
+    "tcpip_stack",
+    "erpc_stack",
+    "nanorpc_stack",
+]

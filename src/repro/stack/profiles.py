@@ -1,0 +1,108 @@
+"""Named stack compositions reproducing Fig. 1's processing costs.
+
+A :class:`StackProfile` binds a transport model, an RPC-layer model and
+request/response schemas into one number: on-CPU processing nanoseconds
+per served RPC.  The three named profiles land (for the figure's 300 B
+request / 64 B response) in the bands Fig. 1 plots:
+
+* ``tcpip``   -- kernel TCP + protobuf-like serialization: ~15 us
+* ``erpc``    -- kernel-bypass transport + flat serialization: ~850 ns
+* ``nanorpc`` -- hardware-terminated + zero-copy: ~40 ns
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stack.rpc_layer import RpcLayerModel
+from repro.stack.serialization import (
+    FlatSerializer,
+    MessageSchema,
+    ProtobufLikeSerializer,
+    ZeroCopySerializer,
+)
+from repro.stack.transport import (
+    HardwareTerminatedTransport,
+    KernelBypassTransport,
+    KernelTcpTransport,
+    TransportModel,
+)
+
+#: The Fig. 1 measurement point: a 300 B request, DeathStarBench-style
+#: sub-64 B response [36].
+FIG1_REQUEST_BYTES = 300
+FIG1_RESPONSE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """One end-to-end RPC stack: transport + RPC layer + schemas."""
+
+    name: str
+    transport: TransportModel
+    rpc_layer: RpcLayerModel
+
+    def processing_ns(
+        self,
+        request_bytes: int = FIG1_REQUEST_BYTES,
+        response_bytes: int = FIG1_RESPONSE_BYTES,
+    ) -> float:
+        """Total on-CPU stack processing for one served RPC."""
+        if request_bytes < 0 or response_bytes < 0:
+            raise ValueError("message sizes must be >= 0")
+        request = MessageSchema.blob(f"{self.name}-req", request_bytes)
+        response = MessageSchema.blob(f"{self.name}-resp", response_bytes)
+        return self.transport.round_trip_ns(request_bytes, response_bytes) + (
+            self.rpc_layer.round_trip_ns(request, response)
+        )
+
+    def breakdown(self, request_bytes: int = FIG1_REQUEST_BYTES,
+                  response_bytes: int = FIG1_RESPONSE_BYTES) -> dict:
+        """Per-layer cost split (for reporting)."""
+        request = MessageSchema.blob(f"{self.name}-req", request_bytes)
+        response = MessageSchema.blob(f"{self.name}-resp", response_bytes)
+        return {
+            "transport_ns": self.transport.round_trip_ns(
+                request_bytes, response_bytes
+            ),
+            "rpc_layer_ns": self.rpc_layer.round_trip_ns(request, response),
+        }
+
+
+def tcpip_stack() -> StackProfile:
+    """The kernel socket path with software serialization."""
+    return StackProfile(
+        name="tcpip",
+        transport=KernelTcpTransport(),
+        rpc_layer=RpcLayerModel(
+            serializer=ProtobufLikeSerializer(),
+            header_parse_ns=120.0,  # kernel-path framing
+            dispatch_ns=60.0,
+        ),
+    )
+
+
+def erpc_stack() -> StackProfile:
+    """eRPC: kernel-bypass transport, lean RPC layer."""
+    return StackProfile(
+        name="erpc",
+        transport=KernelBypassTransport(),
+        rpc_layer=RpcLayerModel(
+            serializer=FlatSerializer(),
+            header_parse_ns=20.0,
+            dispatch_ns=12.0,
+        ),
+    )
+
+
+def nanorpc_stack() -> StackProfile:
+    """nanoRPC: hardware-terminated transport, zero-copy messages."""
+    return StackProfile(
+        name="nanorpc",
+        transport=HardwareTerminatedTransport(),
+        rpc_layer=RpcLayerModel(
+            serializer=ZeroCopySerializer(fixed_ns=3.0),
+            header_parse_ns=4.0,
+            dispatch_ns=3.0,
+        ),
+    )

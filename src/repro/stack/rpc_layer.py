@@ -1,0 +1,55 @@
+"""The RPC layer: header parsing, function dispatch, payload handling.
+
+Sec. II-B: "the RPC layer does RPC header parsing, requested function
+identification, message payload deserialization, etc."  This model
+charges each of those plus the serializer's work on the request and
+response schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stack.serialization import MessageSchema, SerializerModel
+
+
+@dataclass(frozen=True)
+class RpcLayerModel:
+    """Per-RPC cost of the RPC layer proper.
+
+    Attributes
+    ----------
+    serializer:
+        The (de)serialization cost model applied to both directions.
+    header_parse_ns:
+        Parsing the RPC header (method id, sizes, flags).
+    dispatch_ns:
+        Function-table lookup and handler invocation.
+    """
+
+    serializer: SerializerModel
+    header_parse_ns: float = 15.0
+    dispatch_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.header_parse_ns < 0 or self.dispatch_ns < 0:
+            raise ValueError("costs must be non-negative")
+
+    def request_ns(self, request: MessageSchema) -> float:
+        """RX side: parse header, find handler, decode arguments."""
+        return (
+            self.header_parse_ns
+            + self.dispatch_ns
+            + self.serializer.deserialize_ns(request)
+        )
+
+    def response_ns(self, response: MessageSchema) -> float:
+        """TX side: encode results and build the response header."""
+        return self.header_parse_ns * 0.5 + self.serializer.serialize_ns(
+            response
+        )
+
+    def round_trip_ns(self, request: MessageSchema,
+                      response: MessageSchema) -> float:
+        """Full RPC-layer tax for one served call."""
+        return self.request_ns(request) + self.response_ns(response)

@@ -1,0 +1,154 @@
+"""Message schemas and (de)serialization cost models.
+
+(De)serialization is a first-class RPC tax -- Optimus Prime and
+Zerializer (paper refs [51], [65]) build accelerators just for it.  We
+model it at the schema level: a message is a list of typed fields, and
+a serializer charges per-field and per-byte work:
+
+* :class:`ProtobufLikeSerializer` -- varint/tag encoding: noticeable
+  per-field cost plus per-byte copy; deserialization slightly dearer
+  than serialization (parsing + validation).
+* :class:`FlatSerializer` -- flatbuffer-ish: fixed layout, cost is one
+  bounds-checked copy.
+* :class:`ZeroCopySerializer` -- Zerializer-style: constant descriptor
+  fix-up, independent of payload size.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class FieldKind(enum.Enum):
+    """Field types with their fixed wire sizes (bytes); BYTES is
+    variable-length."""
+
+    INT32 = 4
+    INT64 = 8
+    FLOAT64 = 8
+    BYTES = -1
+
+
+@dataclass(frozen=True)
+class MessageField:
+    """One typed field of a message schema."""
+    name: str
+    kind: FieldKind
+    size_bytes: int = 0  # for BYTES fields
+
+    def wire_bytes(self) -> int:
+        if self.kind is FieldKind.BYTES:
+            if self.size_bytes < 0:
+                raise ValueError(f"field {self.name}: negative size")
+            return self.size_bytes
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class MessageSchema:
+    """An RPC message layout: named, typed fields."""
+
+    name: str
+    fields: Tuple[MessageField, ...] = ()
+
+    @staticmethod
+    def of(name: str, *fields: MessageField) -> "MessageSchema":
+        return MessageSchema(name=name, fields=tuple(fields))
+
+    @staticmethod
+    def blob(name: str, payload_bytes: int, header_fields: int = 3
+             ) -> "MessageSchema":
+        """A typical small-RPC shape: a few header ints + one payload."""
+        headers = tuple(
+            MessageField(f"h{i}", FieldKind.INT64) for i in range(header_fields)
+        )
+        return MessageSchema(
+            name=name,
+            fields=headers + (
+                MessageField("payload", FieldKind.BYTES, payload_bytes),
+            ),
+        )
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.fields)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(f.wire_bytes() for f in self.fields)
+
+
+class SerializerModel(abc.ABC):
+    """On-CPU cost of encoding/decoding one message of a schema."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def serialize_ns(self, schema: MessageSchema) -> float:
+        """Cost to encode one message."""
+
+    @abc.abstractmethod
+    def deserialize_ns(self, schema: MessageSchema) -> float:
+        """Cost to decode one message."""
+
+
+class ProtobufLikeSerializer(SerializerModel):
+    """Tag/varint encoding in software (the datacenter default)."""
+
+    name = "protobuf-like"
+
+    def __init__(self, per_field_ns: float = 18.0,
+                 per_byte_ns: float = 0.6) -> None:
+        if min(per_field_ns, per_byte_ns) < 0:
+            raise ValueError("costs must be non-negative")
+        self.per_field_ns = float(per_field_ns)
+        self.per_byte_ns = float(per_byte_ns)
+
+    def serialize_ns(self, schema: MessageSchema) -> float:
+        return (schema.n_fields * self.per_field_ns
+                + schema.wire_bytes * self.per_byte_ns)
+
+    def deserialize_ns(self, schema: MessageSchema) -> float:
+        # Parsing pays tag dispatch + validation on top of the copy.
+        return (schema.n_fields * self.per_field_ns * 1.4
+                + schema.wire_bytes * self.per_byte_ns)
+
+
+class FlatSerializer(SerializerModel):
+    """Fixed-layout encoding: one bounds-checked copy, tiny field cost."""
+
+    name = "flat"
+
+    def __init__(self, per_field_ns: float = 2.0,
+                 per_byte_ns: float = 0.25) -> None:
+        if min(per_field_ns, per_byte_ns) < 0:
+            raise ValueError("costs must be non-negative")
+        self.per_field_ns = float(per_field_ns)
+        self.per_byte_ns = float(per_byte_ns)
+
+    def serialize_ns(self, schema: MessageSchema) -> float:
+        return (schema.n_fields * self.per_field_ns
+                + schema.wire_bytes * self.per_byte_ns)
+
+    def deserialize_ns(self, schema: MessageSchema) -> float:
+        # Access-in-place: decoding is just pointer math.
+        return schema.n_fields * self.per_field_ns
+
+class ZeroCopySerializer(SerializerModel):
+    """Zerializer-style: descriptors are fixed up, payload never moves."""
+
+    name = "zero-copy"
+
+    def __init__(self, fixed_ns: float = 10.0) -> None:
+        if fixed_ns < 0:
+            raise ValueError("cost must be non-negative")
+        self.fixed_ns = float(fixed_ns)
+
+    def serialize_ns(self, schema: MessageSchema) -> float:
+        return self.fixed_ns
+
+    def deserialize_ns(self, schema: MessageSchema) -> float:
+        return self.fixed_ns

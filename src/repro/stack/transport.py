@@ -1,0 +1,153 @@
+"""Transport-layer on-CPU cost models.
+
+Three generations, matching Fig. 1's progression:
+
+* :class:`KernelTcpTransport` -- the kernel socket path: syscalls,
+  skb management, checksums, per-MTU segmentation.  ~10-20 us for a
+  small message (the paper's TCP/IP bar).
+* :class:`KernelBypassTransport` -- DPDK/eRPC-style user-space polling
+  transport: no syscalls, amortized batched polling, congestion-free
+  common case.  Sub-microsecond.
+* :class:`HardwareTerminatedTransport` -- the NIC terminates the
+  protocol (nanoPU/Nebula); the CPU pays essentially nothing beyond
+  reading the delivered message.
+
+Costs are per *message* in on-CPU nanoseconds and scale with size via
+per-byte terms (copies, checksums) and per-packet terms (segmentation).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+
+class TransportModel(abc.ABC):
+    """On-CPU cost of moving one message through the transport layer."""
+
+    #: Human-readable name used by profiles and reports.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def rx_ns(self, size_bytes: int) -> float:
+        """Receive-path cost for one message of ``size_bytes``."""
+
+    @abc.abstractmethod
+    def tx_ns(self, size_bytes: int) -> float:
+        """Transmit-path cost for one message of ``size_bytes``."""
+
+    def round_trip_ns(self, request_bytes: int, response_bytes: int) -> float:
+        """Server-side processing for one RPC: RX request + TX response."""
+        return self.rx_ns(request_bytes) + self.tx_ns(response_bytes)
+
+    @staticmethod
+    def _check_size(size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+
+
+class KernelTcpTransport(TransportModel):
+    """Kernel TCP/IP socket path.
+
+    Cost structure: two syscalls per direction (~1.5 us each with the
+    mitigations-era overhead), skb alloc + checksum + copy (~2 ns/byte),
+    and per-MTU-packet protocol work.
+    """
+
+    name = "kernel-tcp"
+
+    def __init__(
+        self,
+        syscall_ns: float = 2_600.0,
+        per_packet_ns: float = 4_200.0,
+        per_byte_ns: float = 2.5,
+        mtu_bytes: int = 1_460,
+    ) -> None:
+        if min(syscall_ns, per_packet_ns, per_byte_ns) < 0 or mtu_bytes <= 0:
+            raise ValueError("invalid transport parameters")
+        self.syscall_ns = float(syscall_ns)
+        self.per_packet_ns = float(per_packet_ns)
+        self.per_byte_ns = float(per_byte_ns)
+        self.mtu_bytes = int(mtu_bytes)
+
+    def _packets(self, size_bytes: int) -> int:
+        return max(1, math.ceil(size_bytes / self.mtu_bytes))
+
+    def rx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        return (
+            self.syscall_ns
+            + self._packets(size_bytes) * self.per_packet_ns
+            + size_bytes * self.per_byte_ns
+        )
+
+    def tx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        # TX is slightly cheaper: no softirq demux.
+        return (
+            self.syscall_ns
+            + self._packets(size_bytes) * self.per_packet_ns * 0.8
+            + size_bytes * self.per_byte_ns
+        )
+
+
+class KernelBypassTransport(TransportModel):
+    """User-space polling transport (DPDK / eRPC's common case).
+
+    No syscalls; the poll loop amortizes per-batch costs, leaving a
+    small per-packet handling term and one copy.
+    """
+
+    name = "kernel-bypass"
+
+    def __init__(
+        self,
+        per_packet_ns: float = 320.0,
+        per_byte_ns: float = 0.55,
+        mtu_bytes: int = 1_460,
+    ) -> None:
+        if min(per_packet_ns, per_byte_ns) < 0 or mtu_bytes <= 0:
+            raise ValueError("invalid transport parameters")
+        self.per_packet_ns = float(per_packet_ns)
+        self.per_byte_ns = float(per_byte_ns)
+        self.mtu_bytes = int(mtu_bytes)
+
+    def _packets(self, size_bytes: int) -> int:
+        return max(1, math.ceil(size_bytes / self.mtu_bytes))
+
+    def rx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        return self._packets(size_bytes) * self.per_packet_ns + (
+            size_bytes * self.per_byte_ns
+        )
+
+    def tx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        return self._packets(size_bytes) * self.per_packet_ns * 0.8 + (
+            size_bytes * self.per_byte_ns
+        )
+
+
+class HardwareTerminatedTransport(TransportModel):
+    """NIC-terminated protocol (nanoPU / Nebula).
+
+    The CPU's only transport work is reading the message out of the
+    register file / LLC buffer the hardware placed it in.
+    """
+
+    name = "hw-terminated"
+
+    def __init__(self, per_message_ns: float = 9.0,
+                 per_byte_ns: float = 0.02) -> None:
+        if min(per_message_ns, per_byte_ns) < 0:
+            raise ValueError("invalid transport parameters")
+        self.per_message_ns = float(per_message_ns)
+        self.per_byte_ns = float(per_byte_ns)
+
+    def rx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        return self.per_message_ns + size_bytes * self.per_byte_ns
+
+    def tx_ns(self, size_bytes: int) -> float:
+        self._check_size(size_bytes)
+        return self.per_message_ns + size_bytes * self.per_byte_ns

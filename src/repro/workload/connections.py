@@ -1,0 +1,75 @@
+"""Connection (flow) modelling for RSS-style steering.
+
+Receive Side Scaling hashes a packet's flow tuple to pick a receive
+queue, so the *connection mix* determines how balanced RSS is: few hot
+connections hash to few queues and skew load (the Fig. 9 "connection"
+policy), while many uniform connections approach round-robin balance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class ConnectionPool:
+    """Assigns each request a connection id, optionally Zipf-skewed.
+
+    Parameters
+    ----------
+    n_connections:
+        Number of distinct flows in the offered traffic.
+    zipf_s:
+        Skew exponent.  0 = uniform across connections; larger values
+        concentrate traffic on few hot flows, the regime where RSS's
+        load-oblivious hashing hurts most.
+    """
+
+    def __init__(self, n_connections: int, zipf_s: float = 0.0) -> None:
+        if n_connections <= 0:
+            raise ValueError(f"need at least one connection, got {n_connections}")
+        if zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {zipf_s}")
+        self.n_connections = int(n_connections)
+        self.zipf_s = float(zipf_s)
+        if zipf_s == 0.0:
+            self._weights: Optional[np.ndarray] = None
+        else:
+            ranks = np.arange(1, n_connections + 1, dtype=float)
+            weights = ranks**-zipf_s
+            self._weights = weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a connection id for the next request."""
+        if self._weights is None:
+            return int(rng.integers(0, self.n_connections))
+        return int(rng.choice(self.n_connections, p=self._weights))
+
+    def hash_to_queue(self, connection: int, n_queues: int) -> int:
+        """The RSS hash: a stable mapping from flow id to receive queue.
+
+        Uses a Fibonacci-style multiplicative hash so that consecutive
+        connection ids do not trivially stripe across queues (real RSS
+        uses Toeplitz hashing of the 5-tuple; only stability and
+        pseudo-randomness matter here).
+        """
+        if n_queues <= 0:
+            raise ValueError(f"need at least one queue, got {n_queues}")
+        return (connection * 2654435761) % (2**32) % n_queues
+
+    @staticmethod
+    def uniform(n_connections: int) -> "ConnectionPool":
+        """A pool with no skew (each flow equally likely)."""
+        return ConnectionPool(n_connections, zipf_s=0.0)
+
+    @staticmethod
+    def skewed(n_connections: int, zipf_s: float = 1.1) -> "ConnectionPool":
+        """A hot-flow-dominated pool, stressing RSS imbalance."""
+        return ConnectionPool(n_connections, zipf_s=zipf_s)
+
+    def popularity(self) -> Sequence[float]:
+        """Per-connection traffic share (descending rank order)."""
+        if self._weights is None:
+            return [1.0 / self.n_connections] * self.n_connections
+        return list(self._weights)

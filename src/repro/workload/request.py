@@ -1,0 +1,123 @@
+"""The RPC request record.
+
+A :class:`Request` is the unit of work that flows NIC -> queue -> core.
+It doubles as the measurement record: the analysis package reads its
+timestamps after the simulation ends.  Latency is *server-side* exactly
+as the paper measures it (Sec. VII-B): from NIC arrival to the moment
+response buffers are freed on completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class RequestKind(enum.Enum):
+    """Application-level operation carried by the RPC."""
+
+    GENERIC = "generic"
+    GET = "get"
+    SET = "set"
+    SCAN = "scan"
+    DELETE = "delete"
+
+
+@dataclass
+class Request:
+    """One RPC request and its lifecycle timestamps (all in ns).
+
+    Attributes
+    ----------
+    req_id:
+        Monotonically increasing identity, assigned by the load generator.
+    arrival:
+        Time the request reached the NIC (start of the latency clock).
+    service_time:
+        Intrinsic on-core processing time, drawn from the workload's
+        service distribution (or derived from the KVS operation).
+    size_bytes:
+        Wire size of the request; drives PCIe / NIC transfer costs.
+    connection:
+        Flow identity used by RSS-style hashing.
+    kind / key:
+        Application payload for the MICA end-to-end experiments.
+    enqueued / started / finished:
+        Set by the scheduler/core as the request progresses.  ``started``
+        is the *first* time the request occupied a core (preemption does
+        not reset it).
+    queue_len_at_arrival:
+        Length of the queue the request joined, sampled at arrival --
+        the predictor variable of the Fig. 7 threshold study.
+    migrations:
+        Number of times an Altocumulus MIGRATE moved this request.
+    steals:
+        Number of times work stealing moved this request (ZygOS model).
+    no_migration_eta:
+        Counterfactual completion-time estimate captured at migration
+        time; enables the Fig. 12 effectiveness breakdown.
+    extra_latency:
+        Added on-core overhead (preemption switches, remote EREW
+        accesses, ...) accumulated during execution.
+    """
+
+    req_id: int
+    arrival: float
+    service_time: float
+    size_bytes: int = 300
+    connection: int = 0
+    kind: RequestKind = RequestKind.GENERIC
+    key: Optional[bytes] = None
+    value: Optional[bytes] = None
+
+    enqueued: Optional[float] = None
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    core_id: Optional[int] = None
+    group_id: Optional[int] = None
+    queue_len_at_arrival: Optional[int] = None
+    migrations: int = 0
+    steals: int = 0
+    dropped: bool = False
+    no_migration_eta: Optional[float] = None
+    extra_latency: float = 0.0
+    remaining: float = field(default=0.0)
+    app_result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.service_time < 0:
+            raise ValueError(f"service time must be >= 0, got {self.service_time}")
+        self.remaining = self.service_time
+
+    # ------------------------------------------------------------------
+    # Derived measurements
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> float:
+        """Server-side latency (NIC arrival -> buffers freed), in ns."""
+        if self.finished is None:
+            raise ValueError(f"request {self.req_id} has not finished")
+        return self.finished - self.arrival
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting before first occupying a core, in ns."""
+        if self.started is None:
+            raise ValueError(f"request {self.req_id} never started")
+        return self.started - self.arrival
+
+    @property
+    def completed(self) -> bool:
+        return self.finished is not None
+
+    def violates(self, slo_ns: float) -> bool:
+        """Did this request exceed the SLO latency target?"""
+        return self.completed and self.latency > slo_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.completed else ("dropped" if self.dropped else "open")
+        return (
+            f"<Request #{self.req_id} {self.kind.value} "
+            f"arr={self.arrival:.0f} svc={self.service_time:.0f} {status}>"
+        )

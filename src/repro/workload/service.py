@@ -1,0 +1,214 @@
+"""Service-time distributions.
+
+The evaluation uses the canonical distribution set from the RPC
+scheduling literature (Sec. IV-A, Sec. VIII-A):
+
+* :class:`Fixed` -- deterministic service time (e.g. 850 ns eRPC
+  requests in Fig. 13a).
+* :class:`Uniform` -- uniform over an interval around the mean.
+* :class:`Bimodal` -- the high-dispersion short/long mix, e.g.
+  99.5% x 0.5 us GET/SET and 0.5% x 500 us SCAN in Fig. 10.
+* :class:`Exponential` / :class:`Lognormal` -- used in sensitivity and
+  calibration studies.
+* :class:`TraceService` -- replay of recorded service times.
+
+Each distribution exposes its analytic ``mean`` so SLO targets (L x mean)
+and offered load (lambda x mean / k) can be computed without sampling.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class ServiceDistribution(abc.ABC):
+    """Samples per-request on-core service times (ns)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service time in nanoseconds."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean service time in nanoseconds."""
+
+    @property
+    def squared_cv(self) -> float:
+        """Squared coefficient of variation (variance / mean^2).
+
+        Defaults to a Monte-Carlo estimate; subclasses with closed forms
+        override it.  Used by the queueing-theoretic threshold model to
+        adjust for non-Markovian service.
+        """
+        rng = np.random.default_rng(12345)
+        samples = np.array([self.sample(rng) for _ in range(20000)])
+        m = samples.mean()
+        if m == 0:
+            return 0.0
+        return float(samples.var() / (m * m))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} mean={self.mean:.1f}ns>"
+
+
+class Fixed(ServiceDistribution):
+    """Deterministic service time."""
+
+    def __init__(self, value_ns: float) -> None:
+        if value_ns < 0:
+            raise ValueError(f"service time must be >= 0, got {value_ns}")
+        self.value_ns = float(value_ns)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value_ns
+
+    @property
+    def mean(self) -> float:
+        return self.value_ns
+
+    @property
+    def squared_cv(self) -> float:
+        return 0.0
+
+
+class Uniform(ServiceDistribution):
+    """Uniform service time over ``[low_ns, high_ns]``."""
+
+    def __init__(self, low_ns: float, high_ns: float) -> None:
+        if not 0 <= low_ns <= high_ns:
+            raise ValueError(f"need 0 <= low <= high, got [{low_ns}, {high_ns}]")
+        self.low_ns = float(low_ns)
+        self.high_ns = float(high_ns)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_ns, self.high_ns))
+
+    @property
+    def mean(self) -> float:
+        return (self.low_ns + self.high_ns) / 2.0
+
+    @property
+    def squared_cv(self) -> float:
+        m = self.mean
+        if m == 0:
+            return 0.0
+        var = (self.high_ns - self.low_ns) ** 2 / 12.0
+        return var / (m * m)
+
+
+class Bimodal(ServiceDistribution):
+    """Short/long mix: ``short_ns`` w.p. ``1 - long_fraction`` else ``long_ns``.
+
+    The Fig. 10 configuration is ``Bimodal(500, 500_000, 0.005)``:
+    99.5% of requests take 0.5 us and 0.5% take 500 us.
+    """
+
+    def __init__(self, short_ns: float, long_ns: float, long_fraction: float) -> None:
+        if not 0 <= long_fraction <= 1:
+            raise ValueError(f"long_fraction must be in [0,1], got {long_fraction}")
+        if short_ns < 0 or long_ns < 0:
+            raise ValueError("service times must be >= 0")
+        self.short_ns = float(short_ns)
+        self.long_ns = float(long_ns)
+        self.long_fraction = float(long_fraction)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.long_fraction:
+            return self.long_ns
+        return self.short_ns
+
+    @property
+    def mean(self) -> float:
+        p = self.long_fraction
+        return (1.0 - p) * self.short_ns + p * self.long_ns
+
+    @property
+    def squared_cv(self) -> float:
+        p = self.long_fraction
+        m = self.mean
+        if m == 0:
+            return 0.0
+        second_moment = (1.0 - p) * self.short_ns**2 + p * self.long_ns**2
+        return (second_moment - m * m) / (m * m)
+
+
+class Exponential(ServiceDistribution):
+    """Memoryless service time with the given mean."""
+
+    def __init__(self, mean_ns: float) -> None:
+        if mean_ns <= 0:
+            raise ValueError(f"mean must be positive, got {mean_ns}")
+        self.mean_ns = float(mean_ns)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_ns))
+
+    @property
+    def mean(self) -> float:
+        return self.mean_ns
+
+    @property
+    def squared_cv(self) -> float:
+        return 1.0
+
+
+class Lognormal(ServiceDistribution):
+    """Lognormal service time parameterised by mean and sigma of log-space.
+
+    Heavy-tailed but not bimodal; used in calibration/ablation studies.
+    """
+
+    def __init__(self, mean_ns: float, sigma: float = 1.0) -> None:
+        if mean_ns <= 0:
+            raise ValueError(f"mean must be positive, got {mean_ns}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.mean_ns = float(mean_ns)
+        self.sigma = float(sigma)
+        # Choose mu so that E[X] = exp(mu + sigma^2/2) equals mean_ns.
+        self._mu = math.log(mean_ns) - sigma * sigma / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    @property
+    def mean(self) -> float:
+        return self.mean_ns
+
+    @property
+    def squared_cv(self) -> float:
+        return math.exp(self.sigma * self.sigma) - 1.0
+
+
+class TraceService(ServiceDistribution):
+    """Replays a recorded sequence of service times, cycling if exhausted."""
+
+    def __init__(self, samples_ns: Sequence[float]) -> None:
+        if len(samples_ns) == 0:
+            raise ValueError("trace must contain at least one sample")
+        arr = np.asarray(samples_ns, dtype=float)
+        if (arr < 0).any():
+            raise ValueError("trace contains negative service times")
+        self._samples = arr
+        self._index = 0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(self._samples[self._index])
+        self._index = (self._index + 1) % len(self._samples)
+        return value
+
+    @property
+    def mean(self) -> float:
+        return float(self._samples.mean())
+
+    @property
+    def squared_cv(self) -> float:
+        m = self.mean
+        if m == 0:
+            return 0.0
+        return float(self._samples.var() / (m * m))

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    """Deterministic random streams with a fixed master seed."""
+    return RandomStreams(12345)
+
+
+def make_request(req_id=0, arrival=0.0, service_time=1000.0, **kwargs):
+    """Convenience request constructor for unit tests."""
+    from repro.workload.request import Request
+
+    return Request(req_id=req_id, arrival=arrival, service_time=service_time,
+                   **kwargs)

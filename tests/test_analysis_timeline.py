@@ -1,0 +1,89 @@
+"""Unit tests for the request-timeline telemetry."""
+
+import pytest
+
+from repro.analysis.timeline import TimelineRecorder
+from tests.conftest import make_request
+
+
+def finished_request(req_id=0, arrival=100.0, latency=900.0, migrations=0):
+    r = make_request(req_id=req_id, arrival=arrival, service_time=500.0)
+    r.enqueued = arrival + 30.0
+    r.queue_len_at_arrival = 3
+    r.started = arrival + latency - 500.0
+    r.finished = arrival + latency
+    r.core_id = 7
+    r.migrations = migrations
+    return r
+
+
+class TestRecording:
+    def test_manual_events_in_order(self):
+        recorder = TimelineRecorder()
+        recorder.record(1, 10.0, "a")
+        recorder.record(1, 20.0, "b", "extra")
+        timeline = recorder.get(1)
+        assert [e.what for e in timeline.events] == ["a", "b"]
+        assert timeline.span_ns == 10.0
+
+    def test_lifecycle_backfill(self):
+        recorder = TimelineRecorder()
+        recorder.record_lifecycle(finished_request(migrations=1))
+        timeline = recorder.get(0)
+        whats = [e.what for e in timeline.events]
+        assert whats == ["nic_arrival", "enqueued", "migrated", "started",
+                         "finished"]
+
+    def test_watch_filter(self):
+        recorder = TimelineRecorder(watch={5})
+        recorder.record(5, 1.0, "x")
+        recorder.record(6, 1.0, "x")
+        assert recorder.get(5) is not None
+        assert recorder.get(6) is None
+
+    def test_memory_guard(self):
+        recorder = TimelineRecorder(max_requests=2)
+        for i in range(5):
+            recorder.record(i, 1.0, "x")
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_completion_hook_integration(self):
+        """The recorder plugs straight into a system's completion hooks."""
+        from repro.api import run_workload
+        from repro.schedulers.jbsq import ideal_cfcfs
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+        from repro.workload.arrivals import DeterministicArrivals
+        from repro.workload.service import Fixed
+
+        sim, streams = Simulator(), RandomStreams(1)
+        system = ideal_cfcfs(sim, streams, 2)
+        recorder = TimelineRecorder()
+        system.completion_hooks.append(recorder.record_lifecycle)
+        run_workload(system, sim, streams, DeterministicArrivals(1e6),
+                     Fixed(500.0), n_requests=20, warmup_fraction=0.0)
+        assert len(recorder) == 20
+
+
+class TestRendering:
+    def test_render_contains_deltas_and_details(self):
+        recorder = TimelineRecorder()
+        recorder.record_lifecycle(finished_request())
+        text = recorder.get(0).render()
+        assert "request #0" in text
+        assert "core=7" in text
+        assert "(+" in text  # inter-event delta shown
+
+    def test_slowest_orders_by_span(self):
+        recorder = TimelineRecorder()
+        recorder.record_lifecycle(finished_request(req_id=1, latency=500.0))
+        recorder.record_lifecycle(finished_request(req_id=2, latency=5_000.0))
+        slowest = recorder.slowest(1)
+        assert slowest[0].req_id == 2
+        with pytest.raises(ValueError):
+            recorder.slowest(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(max_requests=0)

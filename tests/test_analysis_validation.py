@@ -1,0 +1,67 @@
+"""Unit tests for the closed-form queueing validators."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    md1_mean_wait_ns,
+    mg1_mean_wait_ns,
+    mm1_mean_wait_ns,
+    mmk_mean_wait_ns,
+)
+
+
+class TestClosedForms:
+    def test_mm1_textbook_value(self):
+        # rho=0.5, S=1000: W = 0.5/0.5 * 1000 = 1000.
+        assert mm1_mean_wait_ns(0.5, 1_000.0) == 1_000.0
+
+    def test_md1_is_half_mm1(self):
+        assert md1_mean_wait_ns(0.7, 1_000.0) == pytest.approx(
+            mm1_mean_wait_ns(0.7, 1_000.0) / 2
+        )
+
+    def test_mg1_reduces_to_mm1_at_cv1(self):
+        assert mg1_mean_wait_ns(0.7, 1_000.0, 1.0) == pytest.approx(
+            mm1_mean_wait_ns(0.7, 1_000.0)
+        )
+
+    def test_mg1_grows_with_variance(self):
+        low = mg1_mean_wait_ns(0.7, 1_000.0, 0.5)
+        high = mg1_mean_wait_ns(0.7, 1_000.0, 10.0)
+        assert high > low
+
+    def test_mmk_reduces_to_mm1_at_k1(self):
+        assert mmk_mean_wait_ns(1, 0.6, 1_000.0) == pytest.approx(
+            mm1_mean_wait_ns(0.6, 1_000.0)
+        )
+
+    def test_pooling_reduces_wait(self):
+        assert mmk_mean_wait_ns(64, 0.8, 1_000.0) < mmk_mean_wait_ns(
+            8, 0.8, 1_000.0
+        )
+
+    def test_wait_diverges_near_saturation(self):
+        assert mm1_mean_wait_ns(0.99, 1_000.0) > 50_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_mean_wait_ns(1.0, 1_000.0)
+        with pytest.raises(ValueError):
+            mm1_mean_wait_ns(0.5, 0.0)
+        with pytest.raises(ValueError):
+            mg1_mean_wait_ns(0.5, 1_000.0, -1.0)
+        with pytest.raises(ValueError):
+            mmk_mean_wait_ns(0, 0.5, 1_000.0)
+
+
+class TestValidationPoint:
+    def test_relative_error(self):
+        point = ValidationPoint("M/M/1", 1, 0.5, 1_000.0, 1_100.0)
+        assert point.relative_error == pytest.approx(0.1)
+
+    def test_zero_prediction_edge(self):
+        exact = ValidationPoint("x", 1, 0.0, 0.0, 0.0)
+        assert exact.relative_error == 0.0
+        off = ValidationPoint("x", 1, 0.0, 0.0, 5.0)
+        assert off.relative_error == float("inf")

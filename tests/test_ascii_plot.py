@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 4)]},
+            width=20, height=8,
+        )
+        assert "o" in chart and "x" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_dimensions(self):
+        chart = line_chart({"a": [(0, 1), (10, 5)]}, width=30, height=10)
+        plot_rows = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(plot_rows) == 10
+        assert all(len(l) == 31 for l in plot_rows)
+
+    def test_log_scale(self):
+        chart = line_chart({"a": [(0, 1.0), (1, 1000.0)]}, log_y=True)
+        assert "(log)" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0.0)]}, log_y=True)
+
+    def test_axis_labels_mention_range(self):
+        chart = line_chart({"a": [(2.0, 5.0), (8.0, 9.0)]},
+                           x_label="MRPS", y_label="p99")
+        assert "MRPS: 2 .. 8" in chart
+        assert "p99" in chart
+
+    def test_flat_series_does_not_crash(self):
+        line_chart({"a": [(0, 5.0), (1, 5.0)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 1
+
+    def test_unit_suffix(self):
+        chart = bar_chart({"x": 5.0}, unit=" MRPS")
+        assert "5 MRPS" in chart
+
+    def test_zero_values_allowed(self):
+        chart = bar_chart({"x": 0.0, "y": 0.0})
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})

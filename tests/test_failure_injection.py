@@ -1,0 +1,132 @@
+"""Failure-injection and edge-case tests: tiny hardware resources,
+rejected migrations, zero-length work, and pathological workloads must
+degrade gracefully -- never hang, lose, or duplicate requests."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.hw.constants import HwConstants
+from repro.schedulers.jbsq import ideal_cfcfs
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.connections import ConnectionPool
+from repro.workload.service import Fixed
+from tests.conftest import make_request
+
+
+class TestTinyHardware:
+    def test_bounded_mrs_under_migration_pressure(self, sim, streams):
+        """Tiny MR files force NACKs and drops; accounting stays exact."""
+        config = AltocumulusConfig(
+            n_groups=2, group_size=4, bulk=8, concurrency=1,
+            offered_load=0.95, mr_capacity=6,
+        )
+        system = AltocumulusSystem(sim, streams, config)
+        n = 800
+        run_workload(
+            system, sim, streams, PoissonArrivals(5e6), Fixed(1_000.0),
+            n_requests=n, warmup_fraction=0.0,
+            connections=ConnectionPool(1),
+        )
+        assert system.stats.completed + system.stats.dropped == n
+        for hw in system.managers:
+            assert hw.in_flight_descriptors == 0
+
+    def test_one_entry_send_fifo_backpressures_not_crashes(self, sim, streams):
+        constants = HwConstants(send_fifo_entries=1, recv_fifo_entries=1)
+        config = AltocumulusConfig(
+            n_groups=2, group_size=4, bulk=8, concurrency=1,
+            offered_load=0.95,
+        )
+        system = AltocumulusSystem(sim, streams, config, constants=constants)
+        result = run_workload(
+            system, sim, streams, PoissonArrivals(5e6), Fixed(1_000.0),
+            n_requests=500, warmup_fraction=0.0,
+            connections=ConnectionPool(1),
+        )
+        assert len(result.requests) == 500
+
+
+class TestDegenerateWork:
+    def test_zero_service_time_requests(self, sim, streams):
+        system = ideal_cfcfs(sim, streams, 2)
+        result = run_workload(
+            system, sim, streams, DeterministicArrivals(1e6), Fixed(0.0),
+            n_requests=100, warmup_fraction=0.0,
+        )
+        assert len(result.requests) == 100
+        assert all(r.latency >= 0 for r in result.requests)
+
+    def test_single_request_workload(self, sim, streams):
+        system = ideal_cfcfs(sim, streams, 1)
+        result = run_workload(
+            system, sim, streams, DeterministicArrivals(1e3), Fixed(100.0),
+            n_requests=1, warmup_fraction=0.0,
+        )
+        assert result.latency.count == 1
+
+    def test_gigantic_request_does_not_stall_others(self, sim, streams):
+        system = ideal_cfcfs(sim, streams, 4)
+        huge = make_request(req_id=0, service_time=1e9)  # a 1-second RPC
+        system.offer(huge)
+        shorts = [make_request(req_id=i, service_time=100.0)
+                  for i in range(1, 10)]
+        for r in shorts:
+            system.offer(r)
+        system.expect(10)
+        sim.run(until=10**12)
+        assert all(r.latency < 1e6 for r in shorts)
+        assert huge.completed
+
+
+class TestHookFailures:
+    def test_completion_hook_exception_propagates(self, sim, streams):
+        """A buggy application hook fails loudly at the offending event,
+        not silently."""
+        system = ideal_cfcfs(sim, streams, 1)
+        system.completion_hooks.append(
+            lambda r: (_ for _ in ()).throw(RuntimeError("app bug"))
+        )
+        system.offer(make_request())
+        with pytest.raises(RuntimeError, match="app bug"):
+            sim.run(until=10**9)
+
+    def test_execution_penalty_exception_propagates(self, sim, streams):
+        config = AltocumulusConfig(n_groups=2, group_size=4)
+
+        def bad_penalty(request):
+            raise ValueError("penalty bug")
+
+        system = AltocumulusSystem(sim, streams, config,
+                                   execution_penalty=bad_penalty)
+        system.offer(make_request())
+        with pytest.raises(ValueError, match="penalty bug"):
+            sim.run(until=10**9)
+
+
+class TestPathologicalTraffic:
+    def test_simultaneous_burst_arrivals(self, sim, streams):
+        """A whole batch arriving at the same timestamp (MMPP trains)
+        is dispatched without double-assignment."""
+        system = ideal_cfcfs(sim, streams, 4)
+        for i in range(50):
+            system.offer(make_request(req_id=i, service_time=200.0))
+        system.expect(50)
+        sim.run(until=10**9)
+        ids = {r.req_id for r in system.finished_requests}
+        assert len(ids) == 50
+
+    def test_sustained_overload_terminates(self, sim, streams):
+        """2x overload: the run still terminates once the queue drains
+        (open-loop, finite request count)."""
+        system = ideal_cfcfs(sim, streams, 2)
+        result = run_workload(
+            system, sim, streams, DeterministicArrivals(4e6), Fixed(1_000.0),
+            n_requests=2_000, warmup_fraction=0.0,
+        )
+        assert len(result.requests) == 2_000
+        # Latency grows roughly linearly through the run under overload.
+        assert result.latency.maximum > 100_000.0

@@ -1,0 +1,125 @@
+"""Unit tests for the core execution model."""
+
+import pytest
+
+from repro.hw.cores import Core
+from tests.conftest import make_request
+
+
+class TestRunToCompletion:
+    def test_completion_at_service_time(self, sim):
+        done = []
+        core = Core(sim, 0, lambda c, r: done.append((sim.now, r)))
+        req = make_request(service_time=500.0)
+        core.assign(req)
+        sim.run()
+        assert done[0][0] == 500.0
+        assert req.finished == 500.0
+        assert req.remaining == 0.0
+        assert core.completed == 1
+
+    def test_startup_delays_completion_and_start(self, sim):
+        done = []
+        core = Core(sim, 0, lambda c, r: done.append(sim.now))
+        req = make_request(service_time=500.0)
+        core.assign(req, startup_ns=100.0)
+        sim.run()
+        assert done == [600.0]
+        assert req.started == 100.0
+        assert req.extra_latency == 100.0
+
+    def test_busy_while_running(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        core.assign(make_request(service_time=100.0))
+        assert core.busy
+        sim.run()
+        assert not core.busy
+
+    def test_double_assign_rejected(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        core.assign(make_request())
+        with pytest.raises(RuntimeError):
+            core.assign(make_request(req_id=1))
+
+    def test_started_not_reset_by_second_slice(self, sim):
+        requeued = []
+        core = Core(sim, 0, lambda c, r: None,
+                    on_preempt=lambda c, r: requeued.append(r))
+        req = make_request(service_time=1000.0)
+        core.assign(req, quantum_ns=400.0)
+        sim.run()
+        first_start = req.started
+        core.assign(req, quantum_ns=400.0)
+        sim.run()
+        assert req.started == first_start
+
+
+class TestPreemption:
+    def test_quantum_preempts_long_request(self, sim):
+        preempted = []
+        core = Core(sim, 0, lambda c, r: None,
+                    on_preempt=lambda c, r: preempted.append(r))
+        req = make_request(service_time=1000.0)
+        core.assign(req, quantum_ns=300.0)
+        sim.run()
+        assert preempted == [req]
+        assert req.remaining == 700.0
+        assert req.finished is None
+        assert core.preemptions == 1
+
+    def test_short_request_not_preempted(self, sim):
+        done = []
+        core = Core(sim, 0, lambda c, r: done.append(r))
+        req = make_request(service_time=100.0)
+        core.assign(req, quantum_ns=300.0)
+        sim.run()
+        assert done == [req]
+        assert core.preemptions == 0
+
+    def test_switch_overhead_charged_on_preemption_only(self, sim):
+        preempted = []
+        core = Core(sim, 0, lambda c, r: None,
+                    on_preempt=lambda c, r: preempted.append(sim.now))
+        req = make_request(service_time=1000.0)
+        core.assign(req, quantum_ns=300.0, switch_overhead_ns=50.0)
+        sim.run()
+        assert preempted == [350.0]
+        assert req.extra_latency == 50.0
+
+    def test_request_completes_across_quanta(self, sim):
+        done = []
+
+        def requeue(core, request):
+            core.assign(request, quantum_ns=300.0)
+
+        core = Core(sim, 0, lambda c, r: done.append(sim.now),
+                    on_preempt=requeue)
+        core.assign(make_request(service_time=1000.0), quantum_ns=300.0)
+        sim.run()
+        assert done == [1000.0]
+
+    def test_preempt_without_handler_raises(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        core.assign(make_request(service_time=1000.0), quantum_ns=100.0)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_invalid_quantum_rejected(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        with pytest.raises(ValueError):
+            core.assign(make_request(), quantum_ns=0.0)
+
+
+class TestAccounting:
+    def test_busy_ns_tracks_execution(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        core.assign(make_request(service_time=400.0))
+        sim.run()
+        assert core.busy_ns == 400.0
+
+    def test_utilization(self, sim):
+        core = Core(sim, 0, lambda c, r: None)
+        core.assign(make_request(service_time=400.0))
+        sim.run()
+        assert core.utilization(800.0) == 0.5
+        assert core.utilization(0.0) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the memory-bandwidth contention model."""
+
+import pytest
+
+from repro.hw.memory import MemoryBandwidthModel
+
+
+def make_model(sim, **kwargs):
+    defaults = dict(bandwidth_bytes_per_ns=100.0, idle_latency_ns=80.0,
+                    window_ns=1_000.0)
+    defaults.update(kwargs)
+    return MemoryBandwidthModel(sim, **defaults)
+
+
+class TestAccess:
+    def test_idle_access_costs_latency_plus_transfer(self, sim):
+        model = make_model(sim)
+        # 512 B at 100 B/ns = 5.12 ns transfer + 80 ns idle latency.
+        assert model.access(512) == pytest.approx(80.0 + 5.12)
+
+    def test_zero_byte_access_costs_idle_latency(self, sim):
+        assert make_model(sim).access(0) == 80.0
+
+    def test_contention_inflates_latency(self, sim):
+        model = make_model(sim)
+        first = model.access(40_000)  # claims 40% of the window
+        loaded = model.access(40_000)
+        assert loaded > first
+
+    def test_inflation_capped(self, sim):
+        model = make_model(sim, max_inflation=5.0)
+        for _ in range(50):
+            model.access(50_000)  # saturate the window
+        cost = model.access(10_000)
+        assert cost <= 80.0 + 10_000 / 100.0 * 5.0 + 1e-9
+
+    def test_window_expiry_restores_idle_cost(self, sim):
+        model = make_model(sim)
+        model.access(90_000)  # near-saturate
+        sim.schedule(2_000.0, lambda: None)
+        sim.run()  # advance past the window
+        assert model.utilization() == 0.0
+        assert model.access(512) == pytest.approx(80.0 + 5.12)
+
+
+class TestAccounting:
+    def test_utilization_bounds(self, sim):
+        model = make_model(sim)
+        assert model.utilization() == 0.0
+        for _ in range(10):
+            model.access(50_000)
+        assert model.utilization() == 1.0
+
+    def test_totals(self, sim):
+        model = make_model(sim)
+        model.access(100)
+        model.access(200)
+        assert model.total_bytes == 300
+        assert model.accesses == 2
+
+    def test_achieved_bandwidth(self, sim):
+        model = make_model(sim)
+        model.access(1_000)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert model.achieved_bandwidth_bytes_per_ns() == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            MemoryBandwidthModel(sim, bandwidth_bytes_per_ns=0.0)
+        with pytest.raises(ValueError):
+            MemoryBandwidthModel(sim, idle_latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            MemoryBandwidthModel(sim, window_ns=0.0)
+        with pytest.raises(ValueError):
+            MemoryBandwidthModel(sim, max_inflation=0.5)
+        with pytest.raises(ValueError):
+            make_model(sim).access(-1)

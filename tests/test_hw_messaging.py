@@ -1,0 +1,180 @@
+"""Unit tests for the manager-tile messaging protocol (Table II)."""
+
+import pytest
+
+from repro.hw.constants import HwConstants
+from repro.hw.messaging import ManagerTileHw
+from repro.hw.noc import Noc
+from repro.hw.topology import MeshTopology
+from tests.conftest import make_request
+
+
+def make_tiles(sim, n=3, mr_capacity=None, constants=None, **callbacks):
+    """Build ``n`` connected manager tiles on one NoC.
+
+    Callbacks apply to every tile and receive (tile_index, *payload).
+    """
+    constants = constants or HwConstants()
+    noc = Noc(sim, MeshTopology(n * 16))
+    tiles = []
+    for i in range(n):
+        def bind(idx):
+            return {
+                "on_migrate_in": lambda reqs, src: callbacks.get(
+                    "migrate_in", lambda *a: None)(idx, reqs, src),
+                "on_update": lambda src, q: callbacks.get(
+                    "update", lambda *a: None)(idx, src, q),
+                "on_migrate_rejected": lambda reqs, dst: callbacks.get(
+                    "rejected", lambda *a: None)(idx, reqs, dst),
+            }
+
+        tiles.append(
+            ManagerTileHw(
+                sim, noc, tile_id=i * 16, manager_index=i,
+                constants=constants, mr_capacity=mr_capacity, **bind(i)
+            )
+        )
+    for t in tiles:
+        t.connect(tiles)
+    return tiles
+
+
+class TestMigrate:
+    def test_descriptors_arrive_at_destination_tail(self, sim):
+        received = []
+        tiles = make_tiles(sim, migrate_in=lambda i, reqs, src: received.append(
+            (i, [r.req_id for r in reqs], src)))
+        batch = [make_request(req_id=i) for i in range(3)]
+        assert tiles[0].send_migrate(1, batch)
+        sim.run()
+        assert received == [(1, [0, 1, 2], 0)]
+        assert [r.req_id for r in tiles[1].mrs.peek_all()] == [0, 1, 2]
+
+    def test_migration_counter_incremented(self, sim):
+        tiles = make_tiles(sim)
+        batch = [make_request(req_id=0)]
+        tiles[0].send_migrate(1, batch)
+        sim.run()
+        assert batch[0].migrations == 1
+
+    def test_ack_clears_pending(self, sim):
+        tiles = make_tiles(sim)
+        tiles[0].send_migrate(1, [make_request()])
+        assert tiles[0].in_flight_descriptors == 1
+        sim.run()
+        assert tiles[0].in_flight_descriptors == 0
+        assert tiles[0].stats.migrates_acked == 1
+        assert tiles[0].stats.migrates_nacked == 0
+
+    def test_nack_when_destination_mrs_full(self, sim):
+        rejected = []
+        tiles = make_tiles(
+            sim, mr_capacity=1,
+            rejected=lambda i, reqs, dst: rejected.append((i, len(reqs))))
+        tiles[1].mrs.enqueue(make_request(req_id=99))  # destination full
+        batch = [make_request(req_id=0), make_request(req_id=1)]
+        tiles[0].send_migrate(1, batch)
+        sim.run()
+        assert tiles[0].stats.migrates_nacked == 1
+        # Batch restored at the source, nothing lost.
+        assert [r.req_id for r in tiles[0].mrs.peek_all()] == [0, 1]
+        assert rejected == [(0, 2)]
+        # The rejected requests were never migrated.
+        assert all(r.migrations == 0 for r in batch)
+
+    def test_send_backpressure_when_fifo_small(self, sim):
+        constants = HwConstants(send_fifo_entries=2)
+        tiles = make_tiles(sim, constants=constants)
+        big_batch = [make_request(req_id=i) for i in range(3)]
+        assert not tiles[0].send_migrate(1, big_batch)
+        assert tiles[0].stats.send_backpressure == 1
+
+    def test_migrate_to_self_rejected(self, sim):
+        tiles = make_tiles(sim)
+        with pytest.raises(ValueError):
+            tiles[0].send_migrate(0, [make_request()])
+
+    def test_empty_batch_is_noop(self, sim):
+        tiles = make_tiles(sim)
+        assert tiles[0].send_migrate(1, [])
+        assert tiles[0].stats.migrates_sent == 0
+
+
+class TestUpdate:
+    def test_broadcast_reaches_all_other_managers(self, sim):
+        updates = []
+        tiles = make_tiles(
+            sim, n=4, update=lambda i, src, q: updates.append((i, src, q)))
+        tiles[2].broadcast_update(17)
+        sim.run()
+        assert sorted(updates) == [(0, 2, 17), (1, 2, 17), (3, 2, 17)]
+        assert tiles[2].stats.updates_sent == 3
+
+    def test_update_does_not_echo_to_sender(self, sim):
+        updates = []
+        tiles = make_tiles(sim, update=lambda i, src, q: updates.append(i))
+        tiles[0].broadcast_update(5)
+        sim.run()
+        assert 0 not in updates
+
+
+class TestConfig:
+    def test_predict_config_writes_prs_without_noc_traffic(self, sim):
+        tiles = make_tiles(sim)
+        before = tiles[0].noc.stats.messages
+        tiles[0].configure(period_ns=100.0, bulk=40)
+        assert tiles[0].prs.period_ns == 100.0
+        assert tiles[0].prs.bulk == 40
+        assert tiles[0].noc.stats.messages == before
+
+
+class TestConservation:
+    def test_no_request_lost_in_crossfire(self, sim):
+        """Concurrent migrations in both directions preserve every
+        descriptor exactly once."""
+        tiles = make_tiles(sim)
+        batch_a = [make_request(req_id=i) for i in range(5)]
+        batch_b = [make_request(req_id=100 + i) for i in range(5)]
+        tiles[0].send_migrate(1, batch_a)
+        tiles[1].send_migrate(0, batch_b)
+        sim.run()
+        ids_at_0 = {r.req_id for r in tiles[0].mrs.peek_all()}
+        ids_at_1 = {r.req_id for r in tiles[1].mrs.peek_all()}
+        assert ids_at_0 == {100, 101, 102, 103, 104}
+        assert ids_at_1 == {0, 1, 2, 3, 4}
+
+
+class TestProtocolProperties:
+    def test_random_interleavings_conserve_descriptors(self, sim):
+        """Property-flavoured stress: arbitrary interleavings of
+        MIGRATE traffic between three bounded tiles never lose or
+        duplicate a descriptor."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        tiles = make_tiles(sim, n=3, mr_capacity=12)
+        population = []
+        for i in range(24):
+            r = make_request(req_id=i)
+            population.append(r)
+            tiles[i % 3].mrs.enqueue(r)
+        for step in range(60):
+            src = int(rng.integers(0, 3))
+            dst = int(rng.integers(0, 3))
+            if src == dst:
+                continue
+            batch = tiles[src].mrs.dequeue_tail_where(
+                int(rng.integers(1, 4)), lambda r: True
+            )
+            if not batch:
+                continue
+            if not tiles[src].send_migrate(dst, batch):
+                for r in batch:
+                    tiles[src].mrs.enqueue_reserved(r)
+            if step % 7 == 0:
+                sim.run(until=sim.now + 50.0)
+        sim.run(until=sim.now + 10_000.0)
+        everywhere = [r.req_id for t in tiles for r in t.mrs.peek_all()]
+        assert sorted(everywhere) == [r.req_id for r in population]
+        for t in tiles:
+            assert t.in_flight_descriptors == 0

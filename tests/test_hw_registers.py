@@ -1,0 +1,178 @@
+"""Unit and property tests for manager-tile register structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.registers import (
+    HardwareFifo,
+    MigrationRegisterFile,
+    ParameterRegisters,
+)
+from tests.conftest import make_request
+
+
+class TestHardwareFifo:
+    def test_fifo_order(self):
+        fifo = HardwareFifo(4)
+        reqs = [make_request(req_id=i) for i in range(3)]
+        for r in reqs:
+            assert fifo.push(r)
+        assert [fifo.pop().req_id for _ in range(3)] == [0, 1, 2]
+
+    def test_push_fails_when_full(self):
+        fifo = HardwareFifo(2)
+        assert fifo.push(make_request(req_id=0))
+        assert fifo.push(make_request(req_id=1))
+        assert not fifo.push(make_request(req_id=2))
+        assert fifo.rejected == 1
+
+    def test_push_many_all_or_nothing(self):
+        fifo = HardwareFifo(3)
+        fifo.push(make_request(req_id=0))
+        batch = [make_request(req_id=i) for i in (1, 2, 3)]
+        assert not fifo.push_many(batch)  # 1 + 3 > 3
+        assert len(fifo) == 1
+        assert fifo.push_many(batch[:2])
+        assert len(fifo) == 3
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            HardwareFifo(1).pop()
+
+    def test_high_watermark(self):
+        fifo = HardwareFifo(4)
+        for i in range(3):
+            fifo.push(make_request(req_id=i))
+        fifo.pop()
+        assert fifo.high_watermark == 3
+
+    def test_free_slots_and_full(self):
+        fifo = HardwareFifo(2)
+        assert fifo.free_slots() == 2
+        fifo.push(make_request())
+        fifo.push(make_request(req_id=1))
+        assert fifo.full
+        assert fifo.free_slots() == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HardwareFifo(0)
+
+
+class TestMigrationRegisterFile:
+    def test_head_dispatch_order(self):
+        mrs = MigrationRegisterFile()
+        for i in range(4):
+            mrs.enqueue(make_request(req_id=i))
+        assert mrs.dequeue_head().req_id == 0
+        assert mrs.dequeue_head().req_id == 1
+
+    def test_tail_migration_takes_newest(self):
+        mrs = MigrationRegisterFile()
+        for i in range(5):
+            mrs.enqueue(make_request(req_id=i))
+        taken = mrs.dequeue_tail(2)
+        # Newest two, returned in arrival order.
+        assert [r.req_id for r in taken] == [3, 4]
+        assert [r.req_id for r in mrs.peek_all()] == [0, 1, 2]
+
+    def test_tail_migration_clamps_to_size(self):
+        mrs = MigrationRegisterFile()
+        mrs.enqueue(make_request(req_id=0))
+        assert [r.req_id for r in mrs.dequeue_tail(5)] == [0]
+        assert len(mrs) == 0
+
+    def test_bounded_capacity_rejects_overflow(self):
+        mrs = MigrationRegisterFile(capacity=2)
+        assert mrs.enqueue(make_request(req_id=0))
+        assert mrs.enqueue(make_request(req_id=1))
+        assert not mrs.enqueue(make_request(req_id=2))
+        assert mrs.free_slots() == 0
+
+    def test_unbounded_free_slots_is_none(self):
+        assert MigrationRegisterFile().free_slots() is None
+
+    def test_bytes_used_at_14_per_entry(self):
+        mrs = MigrationRegisterFile()
+        for i in range(11):
+            mrs.enqueue(make_request(req_id=i))
+        # The paper's sizing: 11 entries x 14 B = 154 B per group.
+        assert mrs.bytes_used == 154
+
+    def test_dequeue_tail_where_skips_ineligible(self):
+        mrs = MigrationRegisterFile()
+        for i in range(5):
+            r = make_request(req_id=i)
+            r.migrations = 1 if i >= 3 else 0  # newest two already migrated
+            mrs.enqueue(r)
+        taken = mrs.dequeue_tail_where(2, lambda r: r.migrations == 0)
+        assert [r.req_id for r in taken] == [1, 2]
+        # Ineligible ones stay in place, order preserved.
+        assert [r.req_id for r in mrs.peek_all()] == [0, 3, 4]
+
+    def test_peek_tail(self):
+        mrs = MigrationRegisterFile()
+        for i in range(4):
+            mrs.enqueue(make_request(req_id=i))
+        assert [r.req_id for r in mrs.peek_tail(2)] == [3, 2]
+        assert len(mrs) == 4  # non-destructive
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(IndexError):
+            MigrationRegisterFile().dequeue_head()
+
+
+class TestParameterRegisters:
+    def test_defaults(self):
+        prs = ParameterRegisters()
+        assert prs.period_ns == 200.0
+        assert prs.bulk == 16
+
+    def test_configure_updates_fields(self):
+        prs = ParameterRegisters()
+        prs.configure(period_ns=100.0, bulk=32, concurrency=4, threshold=55.0)
+        assert (prs.period_ns, prs.bulk, prs.concurrency, prs.threshold) == (
+            100.0, 32, 4, 55.0,
+        )
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(KeyError):
+            ParameterRegisters().configure(warp_drive=1)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterRegisters().configure(period_ns=0.0)
+        with pytest.raises(ValueError):
+            ParameterRegisters().configure(bulk=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 1000)),
+        st.tuples(st.just("deq_head"), st.just(0)),
+        st.tuples(st.just("deq_tail"), st.integers(0, 5)),
+    ),
+    max_size=40,
+))
+def test_mr_file_model_based(ops):
+    """Property: the MR file behaves exactly like a Python list with
+    head/tail removal, and never loses or duplicates descriptors."""
+    mrs = MigrationRegisterFile()
+    model = []
+    counter = [0]
+    for op, arg in ops:
+        if op == "enq":
+            r = make_request(req_id=counter[0])
+            counter[0] += 1
+            mrs.enqueue(r)
+            model.append(r)
+        elif op == "deq_head" and model:
+            assert mrs.dequeue_head() is model.pop(0)
+        elif op == "deq_tail":
+            take = min(arg, len(model))
+            expected = model[len(model) - take:]
+            del model[len(model) - take:]
+            assert mrs.dequeue_tail(arg) == expected
+        assert [r.req_id for r in mrs.peek_all()] == [r.req_id for r in model]

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: conservation, queueing-theory sanity
+checks against closed forms, and cross-system comparisons."""
+
+import pytest
+
+from repro.api import available_systems, build_system, quick_run, run_workload
+from repro.core.prediction import expected_wait
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.service import Bimodal, Exponential, Fixed
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", sorted(
+        n for n in available_systems() if not n.startswith("custom")
+    ))
+    def test_every_system_conserves_requests(self, name):
+        """No request is lost, duplicated, or double-completed, under a
+        dispersive workload that exercises stealing/preemption/migration."""
+        sim, streams = Simulator(), RandomStreams(11)
+        system = build_system(name, sim, streams, 16)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(3e6), Bimodal(500.0, 20_000.0, 0.05),
+            n_requests=1_000, warmup_fraction=0.0,
+        )
+        ids = [r.req_id for r in result.requests]
+        assert len(ids) == 1_000
+        assert len(set(ids)) == 1_000
+        assert all(r.finished >= r.arrival for r in result.requests)
+        assert all(r.remaining == 0.0 for r in result.requests)
+
+
+class TestQueueingTheory:
+    def test_cfcfs_matches_mmk_wait(self):
+        """The ideal c-FCFS system's mean wait tracks the Erlang-C
+        closed form (the foundation the prediction model rests on)."""
+        k, service_ns, rho = 8, 1_000.0, 0.8
+        rate = rho * k / service_ns * 1e9
+        result = quick_run(system="cfcfs", n_cores=k, rate_rps=rate,
+                           mean_service_ns=service_ns, n_requests=120_000,
+                           seed=5, service=Exponential(service_ns))
+        measured_wait = result.latency.mean - service_ns - 30.0  # NIC
+        predicted = expected_wait(k, rho * k, service_ns)
+        assert measured_wait == pytest.approx(predicted, rel=0.15)
+
+    def test_md1_wait_half_of_mm1(self):
+        """Deterministic service halves the M/M/1 queueing delay
+        (Pollaczek-Khinchine) -- validates service-variance handling."""
+        service_ns, rho = 1_000.0, 0.7
+        rate = rho / service_ns * 1e9
+
+        def mean_wait(service):
+            result = quick_run(system="cfcfs", n_cores=1, rate_rps=rate,
+                               n_requests=120_000, seed=6, service=service)
+            return result.latency.mean - service.mean - 30.0
+
+        wait_md1 = mean_wait(Fixed(service_ns))
+        wait_mm1 = mean_wait(Exponential(service_ns))
+        assert wait_md1 == pytest.approx(wait_mm1 / 2, rel=0.2)
+
+    def test_latency_floor_is_delivery_plus_service(self):
+        result = quick_run(system="nebula", n_cores=16, rate_rps=1e5,
+                           n_requests=2_000, service=Fixed(500.0))
+        # 30 ns NIC + 20 ns JBSQ dispatch + 500 ns service.
+        assert result.latency.p50 == pytest.approx(550.0, abs=5.0)
+
+
+class TestCrossSystem:
+    def test_preemption_beats_fcfs_tail_on_bimodal(self):
+        """nanoPU's bounded quantum must beat Nebula's run-to-completion
+        tail under the dispersive mix -- the paper's core JBSQ critique."""
+        # 0.5% longs: the longs themselves sit beyond p99, so the tail
+        # measures the *shorts* -- blocked behind longs under Nebula,
+        # protected by preemption under nanoPU.
+        workload = dict(rate_rps=10e6, n_requests=20_000, seed=8,
+                        service=Bimodal(500.0, 100_000.0, 0.005))
+        nebula = quick_run(system="nebula", n_cores=16, **workload)
+        nanopu = quick_run(system="nanopu", n_cores=16, **workload)
+        assert nanopu.latency.p99 < nebula.latency.p99
+
+    def test_central_queue_beats_dfcfs_tail(self):
+        """c-FCFS pools servers; RSS partitions them.  Pooling wins on
+        tail latency at equal load (the motivation for scheduling at
+        all)."""
+        workload = dict(rate_rps=8e6, n_requests=20_000, seed=8,
+                        service=Exponential(1_000.0))
+        rss = quick_run(system="rss", n_cores=16, **workload)
+        cfcfs = quick_run(system="cfcfs", n_cores=16, **workload)
+        assert cfcfs.latency.p99 < rss.latency.p99
+
+    def test_scheduling_overhead_ordering(self):
+        """Fig. 3's premise: more per-request overhead, worse latency."""
+        from repro.schedulers.jbsq import ideal_cfcfs
+
+        def p99(overhead):
+            sim, streams = Simulator(), RandomStreams(4)
+            system = ideal_cfcfs(sim, streams, 16,
+                                 startup_overhead_ns=overhead)
+            result = run_workload(
+                system, sim, streams, PoissonArrivals(50e6), Fixed(200.0),
+                n_requests=20_000,
+            )
+            return result.latency.p99
+
+        assert p99(5.0) < p99(360.0)

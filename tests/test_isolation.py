@@ -1,0 +1,72 @@
+"""Tests for the application-isolation extension (migration domains)."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.core.config import AltocumulusConfig
+from repro.core.scheduler import AltocumulusSystem
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.connections import ConnectionPool
+from repro.workload.service import Fixed
+
+
+class TestConfig:
+    def test_domains_must_partition_groups(self):
+        with pytest.raises(ValueError, match="partition"):
+            AltocumulusConfig(n_groups=4, group_size=4,
+                              migration_domains=[[0, 1], [2]])
+        with pytest.raises(ValueError, match="partition"):
+            AltocumulusConfig(n_groups=4, group_size=4,
+                              migration_domains=[[0, 1], [1, 2, 3]])
+
+    def test_domain_of(self):
+        config = AltocumulusConfig(n_groups=4, group_size=4,
+                                   migration_domains=[[0, 1, 2], [3]])
+        assert config.domain_of(1) == [0, 1, 2]
+        assert config.domain_of(3) == [3]
+        with pytest.raises(ValueError):
+            config.domain_of(9)
+
+    def test_no_domains_means_global(self):
+        config = AltocumulusConfig(n_groups=4, group_size=4)
+        assert config.domain_of(2) == [0, 1, 2, 3]
+
+
+class TestIsolation:
+    def _run(self, sim, streams, domains):
+        config = AltocumulusConfig(
+            n_groups=4, group_size=4, bulk=8, concurrency=3,
+            offered_load=0.9, migration_domains=domains,
+            steering_policy="connection",
+        )
+        system = AltocumulusSystem(sim, streams, config)
+        result = run_workload(
+            system, sim, streams, PoissonArrivals(6e6), Fixed(1_000.0),
+            n_requests=1_500, warmup_fraction=0.0,
+            connections=ConnectionPool(1),  # one hot group
+        )
+        return system, result
+
+    def test_migrations_never_cross_domains(self, sim, streams):
+        system, result = self._run(sim, streams, [[0, 1], [2, 3]])
+        hot = next(r.group_id for r in result.requests if r.migrations == 0)
+        # Every migrated request ended up inside the hot group's domain.
+        config = system.config
+        for r in result.requests:
+            if r.migrations > 0:
+                assert r.group_id in config.domain_of(hot)
+
+    def test_global_domain_uses_all_groups(self, sim, streams):
+        system, result = self._run(sim, streams, None)
+        if system.total_migrated():
+            groups = {r.group_id for r in result.requests}
+            assert len(groups) >= 2
+
+    def test_isolated_singleton_never_migrates_out(self, sim, streams):
+        """A domain of one group has nowhere to migrate: its requests
+        never leave even under overload."""
+        system, result = self._run(
+            sim, streams, [[0], [1], [2], [3]]
+        )
+        assert system.total_migrated() == 0
+        assert all(r.migrations == 0 for r in result.requests)

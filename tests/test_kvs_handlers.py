@@ -1,0 +1,259 @@
+"""Unit tests for the MICA workload binding and service model."""
+
+import pytest
+
+from repro.hw.constants import HwConstants
+from repro.kvs.dataset import build_dataset, make_key
+from repro.kvs.handlers import MicaServiceModel, MicaWorkload
+from repro.workload.request import RequestKind
+from tests.conftest import make_request
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(n_partitions=4, n_keys=400, seed=3)
+
+
+def make_workload(dataset, **kwargs):
+    defaults = dict(scan_fraction=0.01, seed=5)
+    defaults.update(kwargs)
+    return MicaWorkload(dataset, MicaServiceModel.nanorpc(), n_groups=4,
+                        **defaults)
+
+
+class TestServiceModel:
+    def test_nanorpc_get_set_are_tens_of_ns(self):
+        model = MicaServiceModel.nanorpc()
+        assert 40 <= model.service_ns(RequestKind.GET, 1) <= 80
+        assert 40 <= model.service_ns(RequestKind.SET, 1) <= 80
+
+    def test_erpc_is_around_850ns(self):
+        model = MicaServiceModel.erpc()
+        assert 850 <= model.service_ns(RequestKind.SET, 0) <= 1_000
+
+    def test_get_slower_than_set(self):
+        for model in (MicaServiceModel.nanorpc(), MicaServiceModel.erpc()):
+            assert model.service_ns(RequestKind.GET, 1) > model.service_ns(
+                RequestKind.SET, 1
+            )
+
+    def test_scan_dominates(self):
+        model = MicaServiceModel.nanorpc()
+        assert model.service_ns(RequestKind.SCAN, 1) == model.scan_ns
+
+    def test_probe_depth_adds_cost(self):
+        model = MicaServiceModel.nanorpc()
+        assert model.service_ns(RequestKind.GET, 10) == (
+            model.service_ns(RequestKind.GET, 0) + 10 * model.probe_ns
+        )
+
+    def test_mean_service_closed_form(self):
+        model = MicaServiceModel.nanorpc()
+        mean = model.mean_service_ns(get_fraction=0.5, scan_fraction=0.005)
+        assert mean == pytest.approx(
+            0.995 * (0.5 * (40 + 15 + 2) + 0.5 * (40 + 10 + 2))
+            + 0.005 * model.scan_ns
+        )
+
+    def test_mean_validation(self):
+        with pytest.raises(ValueError):
+            MicaServiceModel.nanorpc().mean_service_ns(1.5, 0.0)
+
+
+class TestWorkloadFactory:
+    def test_factory_assigns_kind_key_service(self, dataset):
+        workload = make_workload(dataset)
+        r = make_request()
+        workload.request_factory(r)
+        assert r.kind in (RequestKind.GET, RequestKind.SET, RequestKind.SCAN)
+        assert r.key in dataset.keys
+        assert r.service_time > 0
+        assert r.remaining == r.service_time
+
+    def test_connection_maps_to_owner_group(self, dataset):
+        workload = make_workload(dataset)
+        pool = workload._pool
+        for _ in range(100):
+            r = make_request()
+            workload.request_factory(r)
+            owner = dataset.store.owner_of(r.key)
+            assert pool.hash_to_queue(r.connection, 4) == owner
+
+    def test_op_mix_fractions(self, dataset):
+        workload = make_workload(dataset, scan_fraction=0.1, get_fraction=0.5)
+        kinds = []
+        for _ in range(3_000):
+            r = make_request()
+            workload.request_factory(r)
+            kinds.append(r.kind)
+        scans = sum(1 for k in kinds if k is RequestKind.SCAN)
+        assert scans / len(kinds) == pytest.approx(0.1, abs=0.03)
+
+    def test_partition_count_must_match_groups(self, dataset):
+        with pytest.raises(ValueError):
+            MicaWorkload(dataset, MicaServiceModel.nanorpc(), n_groups=8)
+
+
+class TestExecution:
+    def test_execute_runs_op_against_store(self, dataset):
+        workload = make_workload(dataset, get_fraction=0.0, scan_fraction=0.0)
+        r = make_request()
+        workload.request_factory(r)  # a SET
+        before = dataset.store.partition(dataset.store.owner_of(r.key)).stats.sets
+        workload.execute(r)
+        after = dataset.store.partition(dataset.store.owner_of(r.key)).stats.sets
+        assert after == before + 1
+
+    def test_unmigrated_request_pays_no_penalty(self, dataset):
+        workload = make_workload(dataset)
+        r = make_request()
+        workload.request_factory(r)
+        assert workload.execute(r) == 0.0
+
+    def test_migrated_request_pays_remote_access(self, dataset):
+        workload = make_workload(dataset)
+        r = make_request()
+        workload.request_factory(r)
+        r.migrations = 1
+        penalty = workload.execute(r)
+        assert penalty == HwConstants().coherence_msg_ns
+        assert workload.remote_accesses == 1
+
+    def test_cross_socket_penalty_adds_qpi(self, dataset):
+        workload = make_workload(dataset, groups_per_socket=1)
+        r = make_request()
+        workload.request_factory(r)
+        r.migrations = 1
+        owner = dataset.store.owner_of(r.key)
+        r.group_id = (owner + 1) % 4  # executed on a different socket
+        penalty = workload.execute(r)
+        constants = HwConstants()
+        assert penalty == constants.coherence_msg_ns + constants.qpi_ns
+
+    def test_get_returns_value(self, dataset):
+        workload = make_workload(dataset, get_fraction=1.0, scan_fraction=0.0)
+        r = make_request()
+        workload.request_factory(r)
+        workload.execute(r)
+        assert r.app_result is not None
+
+    def test_keyless_request_is_noop(self, dataset):
+        workload = make_workload(dataset)
+        assert workload.execute(make_request()) == 0.0
+
+
+class TestDataset:
+    def test_deterministic_keys(self):
+        assert make_key(7) == make_key(7)
+        assert len(make_key(7)) == 16
+
+    def test_store_preloaded(self, dataset):
+        assert dataset.store.total_records() == 400
+        assert dataset.store.get(dataset.keys[0]) is not None
+
+    def test_zipf_sampling_skews(self, dataset):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        uniform = [dataset.sample_key(rng, 0.0) for _ in range(2_000)]
+        skewed = [dataset.sample_key(rng, 0.9) for _ in range(2_000)]
+        head = set(dataset.keys[:40])
+        assert sum(k in head for k in skewed) > sum(k in head for k in uniform)
+
+
+class TestCrewMode:
+    def test_crew_adds_concurrency_control_cost(self, dataset):
+        erew = make_workload(dataset, mode="erew", scan_fraction=0.0,
+                             get_fraction=1.0)
+        crew = make_workload(dataset, mode="crew", scan_fraction=0.0,
+                             get_fraction=1.0)
+        a, b = make_request(), make_request()
+        erew.request_factory(a)
+        crew.request_factory(b)
+        assert b.service_time == pytest.approx(
+            a.service_time + MicaWorkload.CREW_CONTROL_NS
+        )
+
+    def test_crew_reads_pay_no_migration_penalty(self, dataset):
+        crew = make_workload(dataset, mode="crew", scan_fraction=0.0,
+                             get_fraction=1.0)
+        r = make_request()
+        crew.request_factory(r)
+        r.migrations = 1
+        assert crew.execute(r) == 0.0
+
+    def test_crew_writes_still_pay_ownership_transfer(self, dataset):
+        crew = make_workload(dataset, mode="crew", scan_fraction=0.0,
+                             get_fraction=0.0)  # all SETs
+        r = make_request()
+        crew.request_factory(r)
+        r.migrations = 1
+        assert crew.execute(r) > 0.0
+
+    def test_invalid_mode_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            make_workload(dataset, mode="mesi")
+
+
+class TestDelete:
+    def test_delete_fraction_produces_deletes(self, dataset):
+        workload = make_workload(dataset, delete_fraction=0.5,
+                                 scan_fraction=0.0)
+        kinds = []
+        for _ in range(400):
+            r = make_request()
+            workload.request_factory(r)
+            kinds.append(r.kind)
+        deletes = sum(1 for k in kinds if k is RequestKind.DELETE)
+        assert deletes / len(kinds) == pytest.approx(0.5, abs=0.08)
+
+    def test_delete_removes_key(self, dataset):
+        workload = make_workload(dataset, delete_fraction=1.0,
+                                 scan_fraction=0.0)
+        r = make_request()
+        workload.request_factory(r)
+        workload.execute(r)
+        assert r.app_result is True
+        assert dataset.store.get(r.key) is None
+
+    def test_delete_is_cheaper_than_set(self):
+        model = MicaServiceModel.nanorpc()
+        assert model.service_ns(RequestKind.DELETE, 1) < model.service_ns(
+            RequestKind.SET, 1
+        )
+
+    def test_fraction_overflow_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            make_workload(dataset, scan_fraction=0.6, delete_fraction=0.6)
+
+
+class TestMemoryBandwidth:
+    def test_memory_model_charges_value_transfers(self, dataset):
+        from repro.hw.memory import MemoryBandwidthModel
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        memory = MemoryBandwidthModel(sim)
+        workload = make_workload(dataset, scan_fraction=0.0,
+                                 get_fraction=1.0, memory=memory)
+        r = make_request()
+        workload.request_factory(r)
+        penalty = workload.execute(r)
+        assert penalty >= memory.idle_latency_ns
+        assert memory.accesses == 1
+
+    def test_contention_grows_penalty(self, dataset):
+        from repro.hw.memory import MemoryBandwidthModel
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        memory = MemoryBandwidthModel(sim, bandwidth_bytes_per_ns=1.0,
+                                      window_ns=10_000.0)
+        workload = make_workload(dataset, scan_fraction=0.0,
+                                 get_fraction=1.0, memory=memory)
+        penalties = []
+        for i in range(12):
+            r = make_request(req_id=i)
+            workload.request_factory(r)
+            penalties.append(workload.execute(r))
+        assert penalties[-1] > penalties[0]

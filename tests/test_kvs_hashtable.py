@@ -1,0 +1,68 @@
+"""Unit tests for the MICA hash index."""
+
+import pytest
+
+from repro.kvs.hashtable import HashIndex, key_hash
+
+
+class TestKeyHash:
+    def test_stable(self):
+        assert key_hash(b"hello") == key_hash(b"hello")
+
+    def test_spreads(self):
+        hashes = {key_hash(b"key%d" % i) % 64 for i in range(256)}
+        assert len(hashes) > 32
+
+
+class TestIndex:
+    def test_put_get(self):
+        idx = HashIndex(16)
+        idx.put(b"a", 100)
+        assert idx.get(b"a") == 100
+
+    def test_update_overwrites(self):
+        idx = HashIndex(16)
+        idx.put(b"a", 100)
+        idx.put(b"a", 200)
+        assert idx.get(b"a") == 200
+        assert len(idx) == 1
+
+    def test_miss_returns_none(self):
+        assert HashIndex(16).get(b"nope") is None
+
+    def test_delete(self):
+        idx = HashIndex(16)
+        idx.put(b"a", 1)
+        assert idx.delete(b"a")
+        assert idx.get(b"a") is None
+        assert not idx.delete(b"a")
+        assert len(idx) == 0
+
+    def test_collisions_resolved_by_full_key(self):
+        idx = HashIndex(1)  # everything collides
+        for i in range(20):
+            idx.put(b"key%d" % i, i)
+        for i in range(20):
+            assert idx.get(b"key%d" % i) == i
+        assert idx.bucket_load(b"key0") == 20
+
+    def test_scan_yields_requested_count(self):
+        idx = HashIndex(8)
+        for i in range(30):
+            idx.put(b"key%d" % i, i)
+        items = list(idx.scan(b"key0", 10))
+        assert len(items) == 10
+        assert all(isinstance(k, bytes) for k, _ in items)
+
+    def test_scan_capped_by_population(self):
+        idx = HashIndex(8)
+        idx.put(b"a", 1)
+        assert len(list(idx.scan(b"a", 100))) == 1
+
+    def test_scan_count_validation(self):
+        with pytest.raises(ValueError):
+            list(HashIndex(4).scan(b"a", -1))
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            HashIndex(0)

@@ -1,0 +1,88 @@
+"""Unit and property tests for the MICA circular log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvs.log import RECORD_HEADER_BYTES, CircularLog
+
+
+def record_size(key=b"k", value=b"v"):
+    return RECORD_HEADER_BYTES + len(key) + len(value)
+
+
+class TestAppendRead:
+    def test_read_your_write(self):
+        log = CircularLog(1024)
+        rec = log.append(b"key", b"value")
+        got = log.read(rec.offset)
+        assert got.key == b"key"
+        assert got.value == b"value"
+
+    def test_offsets_monotone(self):
+        log = CircularLog(4096)
+        offsets = [log.append(b"k", b"v").offset for _ in range(5)]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 5
+
+    def test_read_unknown_offset_is_none(self):
+        log = CircularLog(1024)
+        assert log.read(999) is None
+
+
+class TestEviction:
+    def test_wrap_evicts_oldest_first(self):
+        size = record_size(b"aaaa", b"bbbb")
+        log = CircularLog(size * 3)
+        recs = [log.append(b"aaaa", b"bbbb") for _ in range(4)]
+        assert log.read(recs[0].offset) is None  # oldest evicted
+        assert log.read(recs[3].offset) is not None
+        assert log.evictions == 1
+
+    def test_live_bytes_never_exceed_capacity(self):
+        log = CircularLog(500)
+        for i in range(100):
+            log.append(b"key%03d" % i, b"x" * 20)
+            assert log.live_bytes <= 500
+
+    def test_is_live(self):
+        log = CircularLog(record_size() * 2)
+        first = log.append(b"k", b"v")
+        assert log.is_live(first.offset)
+        log.append(b"k", b"v")
+        log.append(b"k", b"v")
+        assert not log.is_live(first.offset)
+
+    def test_utilization(self):
+        log = CircularLog(1000)
+        assert log.utilization == 0.0
+        log.append(b"kk", b"vv")
+        assert 0 < log.utilization <= 1.0
+
+
+class TestValidation:
+    def test_record_larger_than_log_rejected(self):
+        log = CircularLog(64)
+        with pytest.raises(ValueError):
+            log.append(b"k", b"v" * 200)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CircularLog(RECORD_HEADER_BYTES)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=40))
+def test_recent_records_always_readable(values):
+    """Property: the most recent append is always readable, and the set
+    of live records matches exactly the non-evicted suffix."""
+    log = CircularLog(256)
+    appended = []
+    for i, value in enumerate(values):
+        rec = log.append(b"k%d" % i, value)
+        appended.append(rec)
+        assert log.read(rec.offset).value == value
+    live = [r for r in appended if log.is_live(r.offset)]
+    # Live records form a contiguous suffix of the append order.
+    assert live == appended[len(appended) - len(live):]
+    assert log.live_records == len(live)

@@ -1,0 +1,135 @@
+"""Unit tests for JBSQ(n) hardware schedulers."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.schedulers.jbsq import JbsqSystem, ideal_cfcfs, nanopu, nebula, rpcvalet
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.service import Bimodal, Fixed
+from tests.conftest import make_request
+
+
+class TestBound:
+    def test_occupancy_never_exceeds_bound(self, sim, streams):
+        system = JbsqSystem(sim, streams, 4, bound=2, dispatch_ns=5.0)
+        max_seen = [0]
+        original = system._arrive_at_core
+
+        def spy(core_id, request):
+            original(core_id, request)
+            max_seen[0] = max(max_seen[0], max(system.occupancy))
+
+        system._arrive_at_core = spy
+        run_workload(
+            system, sim, streams,
+            DeterministicArrivals(20e6), Fixed(1_000.0),
+            n_requests=400, warmup_fraction=0.0,
+        )
+        assert max_seen[0] <= 2
+
+    def test_idle_core_preferred(self, sim, streams):
+        system = JbsqSystem(sim, streams, 3, bound=2, dispatch_ns=0.0)
+        a = make_request(req_id=0, service_time=10_000.0)
+        b = make_request(req_id=1, service_time=10_000.0)
+        system.offer(a)
+        system.offer(b)
+        system.expect(2)
+        sim.run(until=10**9)
+        assert a.core_id != b.core_id  # second went to an idle core
+
+    def test_central_queue_backs_up_when_all_full(self, sim, streams):
+        system = JbsqSystem(sim, streams, 2, bound=1, dispatch_ns=0.0)
+        reqs = [make_request(req_id=i, service_time=1_000.0) for i in range(5)]
+        for r in reqs:
+            system.offer(r)
+        sim.run(until=100.0)  # past NIC delivery; cores now saturated
+        assert len(system.central) >= 1  # overflow waits centrally
+        system.expect(5)
+        sim.run(until=10**9)
+        assert all(r.completed for r in reqs)
+
+    def test_invalid_bound(self, sim, streams):
+        with pytest.raises(ValueError):
+            JbsqSystem(sim, streams, 2, bound=0)
+
+
+class TestIdealCfcfs:
+    def test_fcfs_completion_order_with_fixed_service(self, sim, streams):
+        system = ideal_cfcfs(sim, streams, 2)
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(5e6), Fixed(1_000.0),
+            n_requests=100, warmup_fraction=0.0,
+        )
+        finish_order = [r.req_id for r in
+                        sorted(result.requests, key=lambda r: r.finished)]
+        assert finish_order == sorted(finish_order)
+
+    def test_matches_mm_k_low_load_latency(self, sim, streams):
+        """At very low load, latency = delivery + service exactly."""
+        system = ideal_cfcfs(sim, streams, 8)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(1e5), Fixed(1_000.0),
+            n_requests=200, warmup_fraction=0.0,
+        )
+        assert result.latency.mean == pytest.approx(1_030.0, abs=5.0)
+
+    def test_startup_overhead_consumes_capacity(self, sim, streams):
+        """The Fig. 3 knob: overhead extends each request's occupancy."""
+        system = ideal_cfcfs(sim, streams, 1, startup_overhead_ns=500.0)
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(9e5),  # 1.11us gap > 1us service alone
+            Fixed(1_000.0),
+            n_requests=300, warmup_fraction=0.5,
+        )
+        # service + overhead = 1.5us > interarrival -> overload, queue grows
+        assert result.latency.p99 > 10_000.0
+
+
+class TestNamedConfigs:
+    def test_nebula_does_not_preempt(self, sim, streams):
+        system = nebula(sim, streams, 4)
+        assert system.quantum_ns is None
+        assert system.bound == 2
+
+    def test_nanopu_preempts_longs(self, sim, streams):
+        system = nanopu(sim, streams, 4, quantum_ns=1_000.0)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(1e6), Bimodal(500.0, 100_000.0, 0.05),
+            n_requests=400, warmup_fraction=0.0,
+        )
+        assert system.stats.extra.get("preemptions", 0) > 0
+        assert len(result.requests) == 400
+
+    def test_rpcvalet_single_depth(self, sim, streams):
+        system = rpcvalet(sim, streams, 4)
+        assert system.bound == 1
+        assert system.dispatch_ns == pytest.approx(35.0)
+
+    def test_nebula_hol_behind_long(self, sim, streams):
+        """Nebula's pathology: a short committed behind an in-service
+        long waits out the long's residual (no preemption, no stealing)."""
+        system = nebula(sim, streams, 2)
+        longs = [make_request(req_id=i, service_time=500_000.0) for i in (0, 1)]
+        short = make_request(req_id=2, service_time=100.0)
+        for r in longs:
+            system.offer(r)
+        system.offer(short)
+        system.expect(3)
+        sim.run(until=10**12)
+        assert short.latency > 400_000.0  # stuck behind a long
+
+
+class TestConservation:
+    def test_preemptive_jbsq_conserves_requests(self, sim, streams):
+        system = nanopu(sim, streams, 4)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(4e6), Bimodal(500.0, 20_000.0, 0.1),
+            n_requests=600, warmup_fraction=0.0,
+        )
+        ids = [r.req_id for r in result.requests]
+        assert len(ids) == len(set(ids)) == 600

@@ -1,0 +1,80 @@
+"""Unit tests for the RSS++ (elastic RSS) baseline."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.schedulers.rss import RssSystem
+from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import DeterministicArrivals
+from repro.workload.connections import ConnectionPool
+from repro.workload.service import Fixed
+
+
+def run_system(system_cls, seed=12345, **kwargs):
+    sim, streams = Simulator(), RandomStreams(seed)
+    system = system_cls(sim, streams, 4, **kwargs)
+    result = run_workload(
+        system, sim, streams,
+        DeterministicArrivals(3e6), Fixed(1_000.0),
+        n_requests=2_000, warmup_fraction=0.1,
+        connections=ConnectionPool(2),  # two flows -> persistent skew
+    )
+    return system, result
+
+
+class TestRebalancing:
+    def test_rebalances_fire_periodically(self):
+        system, _ = run_system(RssPlusPlusSystem,
+                               rebalance_interval_ns=20_000.0)
+        # 2000 reqs at 3 MRPS ~ 667 us of traffic -> ~33 rebalances.
+        assert system.rebalances >= 10
+
+    def test_hot_flows_get_remapped(self):
+        system, result = run_system(RssPlusPlusSystem)
+        assert system.moves > 0
+        # After remapping, requests of a flow execute on >1 core over
+        # the run (the table changed mid-stream).
+        cores_by_conn = {}
+        for r in result.requests:
+            cores_by_conn.setdefault(r.connection, set()).add(r.core_id)
+        assert any(len(cores) > 1 for cores in cores_by_conn.values())
+
+    def test_beats_static_rss_under_flow_skew(self):
+        """Two hot flows colliding on one queue: RSS++ splits them after
+        its first rebalances; static RSS never does."""
+        _, static = run_system(RssSystem, steering_policy="connection")
+        _, elastic = run_system(RssPlusPlusSystem)
+        if static.latency.p99 > 2_000.0:  # flows actually collided
+            assert elastic.latency.p99 < static.latency.p99
+
+    def test_no_move_when_balanced(self, sim, streams):
+        system = RssPlusPlusSystem(sim, streams, 4)
+        system._rebalance()  # empty queues: a no-op
+        assert system.moves == 0
+
+    def test_conservation(self):
+        system, result = run_system(RssPlusPlusSystem)
+        ids = [r.req_id for r in result.requests]
+        assert len(set(ids)) == len(ids)
+
+    def test_queued_requests_not_touched(self, sim, streams):
+        """The table rewrite redirects future traffic only: requests
+        already queued stay on their original queue."""
+        system = RssPlusPlusSystem(sim, streams, 2,
+                                   rebalance_interval_ns=1_000.0)
+        from tests.conftest import make_request
+
+        blocked = make_request(req_id=0, service_time=50_000.0, connection=0)
+        queued = make_request(req_id=1, service_time=100.0, connection=0)
+        system.offer(blocked)
+        system.offer(queued)
+        sim.run(until=5_000.0)  # several rebalances elapse
+        assert not queued.completed  # still behind the long request
+
+    def test_validation(self, sim, streams):
+        with pytest.raises(ValueError):
+            RssPlusPlusSystem(sim, streams, 2, rebalance_interval_ns=0.0)
+        with pytest.raises(ValueError):
+            RssPlusPlusSystem(sim, streams, 2, moves_per_rebalance=0)

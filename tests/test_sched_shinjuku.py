@@ -1,0 +1,96 @@
+"""Unit tests for the Shinjuku centralized preemptive system."""
+
+import pytest
+
+from repro.api import run_workload
+from repro.schedulers.centralized import ShinjukuSystem
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.service import Bimodal, Fixed
+from tests.conftest import make_request
+
+
+class TestDispatch:
+    def test_dispatcher_core_never_executes(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 4)
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(1e6), Fixed(500.0),
+            n_requests=100, warmup_fraction=0.0,
+        )
+        assert all(r.core_id != 0 for r in result.requests)
+        assert system.cores[0].busy_ns == 0.0
+
+    def test_dispatch_cost_appears_in_latency(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 2, dispatch_ns=200.0)
+        req = make_request(service_time=500.0)
+        system.offer(req)
+        system.expect(1)
+        sim.run(until=10**9)
+        # delivery (30 hw-terminated default) + dispatch 200 + service 500
+        assert req.latency >= 700.0
+
+    def test_dispatcher_serializes_at_capacity(self, sim, streams):
+        """Offered load above the dispatcher cap backs up the central
+        queue even though workers are plentiful."""
+        system = ShinjukuSystem(sim, streams, 16, dispatch_ns=200.0)
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(8e6),  # > 5 MRPS dispatcher capacity
+            Fixed(100.0),  # workers are nearly free
+            n_requests=2_000, warmup_fraction=0.5,
+        )
+        # Sustained overload at the dispatcher: latency grows way past
+        # service + dispatch.
+        assert result.latency.p99 > 10_000.0
+
+    def test_dispatcher_capacity_property(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 2, dispatch_ns=200.0)
+        assert system.dispatcher_capacity_rps == pytest.approx(5e6)
+
+    def test_needs_two_cores(self, sim, streams):
+        with pytest.raises(ValueError):
+            ShinjukuSystem(sim, streams, 1)
+
+
+class TestPreemption:
+    def test_long_requests_preempted_at_quantum(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 2, quantum_ns=5_000.0)
+        req = make_request(service_time=20_000.0)
+        system.offer(req)
+        system.expect(1)
+        sim.run(until=10**9)
+        assert req.completed
+        assert system.stats.extra.get("preemptions", 0) >= 3
+
+    def test_preemption_protects_shorts_from_longs(self, sim, streams):
+        """The headline Shinjuku property: shorts overtake a long
+        request that would otherwise monopolize the only worker."""
+        system = ShinjukuSystem(sim, streams, 2, quantum_ns=5_000.0,
+                                switch_overhead_ns=0.0, dispatch_ns=10.0)
+        long_req = make_request(req_id=0, service_time=500_000.0)
+        short = make_request(req_id=1, service_time=500.0, arrival=0.0)
+        system.offer(long_req)
+        system.offer(short)
+        system.expect(2)
+        sim.run(until=10**12)
+        assert short.latency < 50_000.0  # waited a few quanta, not 500us
+        assert long_req.completed
+
+    def test_bimodal_tail_beats_fcfs_single_worker(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 4, quantum_ns=5_000.0)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(1e6), Bimodal(500.0, 200_000.0, 0.01),
+            n_requests=1_500, warmup_fraction=0.1,
+        )
+        # p99 covers shorts; with preemption they never wait a full long.
+        assert result.latency.p99 < 200_000.0
+
+    def test_conservation(self, sim, streams):
+        system = ShinjukuSystem(sim, streams, 4)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(2e6), Bimodal(500.0, 50_000.0, 0.05),
+            n_requests=500, warmup_fraction=0.0,
+        )
+        assert len({r.req_id for r in result.requests}) == 500

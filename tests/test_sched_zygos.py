@@ -1,0 +1,79 @@
+"""Unit tests for the ZygOS work-stealing system."""
+
+from repro.api import run_workload
+from repro.schedulers.work_stealing import ZygosSystem
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.service import Bimodal, Fixed
+from tests.conftest import make_request
+
+
+class TestStealing:
+    def test_idle_cores_steal_backlog(self, sim, streams):
+        """With skewed steering, stealing moves work to idle cores."""
+        system = ZygosSystem(sim, streams, 4, steering_policy="connection")
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(5e6), Fixed(1_000.0),
+            n_requests=500, warmup_fraction=0.0,
+        )
+        stolen = sum(1 for r in result.requests if r.steals > 0)
+        assert stolen > 0
+        cores_used = {r.core_id for r in result.requests}
+        assert len(cores_used) > 1  # work spread beyond the hashed queues
+
+    def test_steal_cost_charged(self, sim, streams):
+        system = ZygosSystem(sim, streams, 4)
+        run_workload(
+            system, sim, streams,
+            DeterministicArrivals(5e6), Fixed(1_000.0),
+            n_requests=300, warmup_fraction=0.0,
+        )
+        if system.steal_hits:
+            assert system.stats.scheduling_ns >= system.steal_hits * 200.0
+
+    def test_stolen_request_completes_exactly_once(self, sim, streams):
+        system = ZygosSystem(sim, streams, 4)
+        result = run_workload(
+            system, sim, streams,
+            PoissonArrivals(3e6), Bimodal(500.0, 50_000.0, 0.05),
+            n_requests=400, warmup_fraction=0.0,
+        )
+        ids = [r.req_id for r in result.requests]
+        assert len(ids) == len(set(ids)) == 400
+
+    def test_rescues_shorts_behind_long(self, sim, streams):
+        """A short stuck behind a long request gets stolen by an idle
+        core instead of waiting the full long service time."""
+        system = ZygosSystem(sim, streams, 4, steering_policy="round_robin")
+        reqs = [
+            make_request(req_id=0, service_time=1_000_000.0),
+            make_request(req_id=1, service_time=100.0),
+            make_request(req_id=2, service_time=100.0),
+            make_request(req_id=3, service_time=100.0),
+            # This one hashes to core 0's queue, behind the long request.
+            make_request(req_id=4, service_time=100.0),
+        ]
+        for r in reqs:
+            system.offer(r)
+        system.expect(5)
+        sim.run(until=10**12)
+        assert reqs[4].latency < 1_000_000.0  # rescued, not blocked
+
+    def test_no_stealing_when_single_core(self, sim, streams):
+        system = ZygosSystem(sim, streams, 1)
+        result = run_workload(
+            system, sim, streams,
+            DeterministicArrivals(1e5), Fixed(1_000.0),
+            n_requests=50, warmup_fraction=0.0,
+        )
+        assert system.steal_hits == 0
+        assert len(result.requests) == 50
+
+    def test_hit_rate_bounded(self, sim, streams):
+        system = ZygosSystem(sim, streams, 4)
+        run_workload(
+            system, sim, streams,
+            PoissonArrivals(3e6), Fixed(1_000.0),
+            n_requests=300, warmup_fraction=0.0,
+        )
+        assert 0.0 <= system.steal_hit_rate <= 1.0

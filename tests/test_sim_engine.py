@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(30.0, order.append, "c")
+        sim.schedule(10.0, order.append, "a")
+        sim.schedule(20.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_fire_fifo(self, sim):
+        order = []
+        for tag in range(5):
+            sim.schedule(10.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.schedule(42.5, lambda: None)
+        sim.run()
+        assert sim.now == 42.5
+
+    def test_schedule_at_absolute_time(self, sim):
+        hits = []
+        sim.schedule_at(100.0, hits.append, 1)
+        sim.run()
+        assert sim.now == 100.0
+        assert hits == [1]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_callback_can_schedule_more_events(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(5.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 6.0
+
+    def test_callback_can_schedule_at_current_time(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, order.append, "now"))
+        sim.run()
+        assert order == ["now"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        hits = []
+        event = sim.schedule(10.0, hits.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()  # must not raise
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        event = sim.schedule(10.0, lambda: None)
+        sim.run()
+        sim.cancel(event)
+
+    def test_other_events_survive_cancellation(self, sim):
+        hits = []
+        keep = sim.schedule(10.0, hits.append, "keep")
+        drop = sim.schedule(5.0, hits.append, "drop")
+        sim.cancel(drop)
+        sim.run()
+        assert hits == ["keep"]
+        assert keep.time == 10.0
+
+
+class TestRunControl:
+    def test_run_until_is_inclusive(self, sim):
+        hits = []
+        sim.schedule(10.0, hits.append, 1)
+        sim.run(until=10.0)
+        assert hits == [1]
+
+    def test_run_until_stops_before_later_events(self, sim):
+        hits = []
+        sim.schedule(10.0, hits.append, "early")
+        sim.schedule(20.0, hits.append, "late")
+        sim.run(until=15.0)
+        assert hits == ["early"]
+        assert sim.now == 15.0
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self, sim):
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_max_events_bounds_execution(self, sim):
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i + 1), hits.append, i)
+        sim.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_stop_halts_run(self, sim):
+        hits = []
+        sim.schedule(1.0, hits.append, "a")
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, hits.append, "b")
+        sim.run()
+        assert hits == ["a"]
+        sim.run()
+        assert hits == ["a", "b"]
+
+    def test_run_is_not_reentrant(self, sim):
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_executes_single_event(self, sim):
+        hits = []
+        sim.schedule(1.0, hits.append, 1)
+        sim.schedule(2.0, hits.append, 2)
+        assert sim.step() is True
+        assert hits == [1]
+
+
+class TestIntrospection:
+    def test_events_processed_counts(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_pending_reflects_heap(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_args_are_passed(self, sim):
+        result = {}
+        sim.schedule(1.0, lambda a, b: result.update(a=a, b=b), 7, "x")
+        sim.run()
+        assert result == {"a": 7, "b": "x"}

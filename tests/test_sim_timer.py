@@ -1,0 +1,69 @@
+"""Unit tests for periodic timers."""
+
+import pytest
+
+from repro.sim.timer import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self, sim):
+        times = []
+        PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_at_overrides_first_firing(self, sim):
+        times = []
+        PeriodicTimer(sim, 10.0, lambda: times.append(sim.now), start_at=3.0)
+        sim.run(until=25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_stop_prevents_future_firings(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        sim.schedule(25.0, timer.stop)
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+        assert not timer.active
+
+    def test_stop_from_within_callback(self, sim):
+        timer_box = {}
+
+        def fire():
+            if len(times) == 2:
+                timer_box["t"].stop()
+
+        times = []
+
+        def cb():
+            times.append(sim.now)
+            fire()
+
+        timer_box["t"] = PeriodicTimer(sim, 5.0, cb)
+        sim.run(until=100.0)
+        assert times == [5.0, 10.0]
+
+    def test_set_period_takes_effect_after_next_firing(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now))
+        sim.schedule(11.0, timer.set_period, 5.0)
+        sim.run(until=31.0)
+        assert times == [10.0, 20.0, 25.0, 30.0]
+
+    def test_counts_fires(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        sim.run(until=10.5)
+        assert timer.fires == 10
+
+    def test_args_forwarded(self, sim):
+        hits = []
+        PeriodicTimer(sim, 5.0, hits.append, "tick")
+        sim.run(until=11.0)
+        assert hits == ["tick", "tick"]
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            timer.set_period(-5.0)

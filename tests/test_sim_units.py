@@ -1,0 +1,32 @@
+"""Unit tests for time/frequency unit helpers."""
+
+import pytest
+
+from repro.sim.units import GHZ, MS, NS, SEC, US, cycles_to_ns, ns_to_cycles
+
+
+def test_unit_ratios():
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SEC == 1000 * MS
+    assert GHZ == 1.0
+
+
+def test_cycles_to_ns_at_2ghz():
+    # The paper's 70-cycle coherence message at 2 GHz is 35 ns.
+    assert cycles_to_ns(70, freq_ghz=2.0) == 35.0
+
+
+def test_cycles_to_ns_default_frequency():
+    assert cycles_to_ns(100) == 50.0
+
+
+def test_roundtrip():
+    assert ns_to_cycles(cycles_to_ns(123, 2.0), 2.0) == pytest.approx(123)
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        cycles_to_ns(10, freq_ghz=0)
+    with pytest.raises(ValueError):
+        ns_to_cycles(10, freq_ghz=-1)

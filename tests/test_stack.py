@@ -1,0 +1,149 @@
+"""Unit tests for the RPC stack processing models."""
+
+import pytest
+
+from repro.stack.profiles import (
+    FIG1_REQUEST_BYTES,
+    erpc_stack,
+    nanorpc_stack,
+    tcpip_stack,
+)
+from repro.stack.rpc_layer import RpcLayerModel
+from repro.stack.serialization import (
+    FieldKind,
+    FlatSerializer,
+    MessageField,
+    MessageSchema,
+    ProtobufLikeSerializer,
+    ZeroCopySerializer,
+)
+from repro.stack.transport import (
+    HardwareTerminatedTransport,
+    KernelBypassTransport,
+    KernelTcpTransport,
+)
+
+
+class TestTransports:
+    def test_generation_ordering(self):
+        """Each stack generation is at least 10x cheaper than the last."""
+        size = FIG1_REQUEST_BYTES
+        tcp = KernelTcpTransport().rx_ns(size)
+        bypass = KernelBypassTransport().rx_ns(size)
+        hw = HardwareTerminatedTransport().rx_ns(size)
+        assert tcp > 10 * bypass > 100 * hw
+
+    def test_cost_monotone_in_size(self):
+        for transport in (KernelTcpTransport(), KernelBypassTransport(),
+                          HardwareTerminatedTransport()):
+            sizes = [0, 64, 300, 1460, 4096, 64_000]
+            costs = [transport.rx_ns(s) for s in sizes]
+            assert costs == sorted(costs)
+
+    def test_segmentation_kicks_in_past_mtu(self):
+        tcp = KernelTcpTransport()
+        one_packet = tcp.rx_ns(1_000)
+        two_packets = tcp.rx_ns(2_000)
+        assert two_packets - one_packet > tcp.per_packet_ns * 0.9
+
+    def test_round_trip_is_rx_plus_tx(self):
+        t = KernelBypassTransport()
+        assert t.round_trip_ns(300, 64) == pytest.approx(
+            t.rx_ns(300) + t.tx_ns(64)
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTcpTransport().rx_ns(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KernelTcpTransport(syscall_ns=-1.0)
+        with pytest.raises(ValueError):
+            KernelBypassTransport(mtu_bytes=0)
+
+
+class TestSchemas:
+    def test_blob_schema_shape(self):
+        schema = MessageSchema.blob("req", 300, header_fields=3)
+        assert schema.n_fields == 4
+        assert schema.wire_bytes == 3 * 8 + 300
+
+    def test_fixed_field_sizes(self):
+        schema = MessageSchema.of(
+            "m",
+            MessageField("a", FieldKind.INT32),
+            MessageField("b", FieldKind.INT64),
+            MessageField("c", FieldKind.FLOAT64),
+        )
+        assert schema.wire_bytes == 4 + 8 + 8
+
+    def test_negative_bytes_field_rejected(self):
+        bad = MessageField("p", FieldKind.BYTES, -5)
+        with pytest.raises(ValueError):
+            bad.wire_bytes()
+
+
+class TestSerializers:
+    SCHEMA = MessageSchema.blob("m", 300)
+
+    def test_protobuf_decode_dearer_than_encode(self):
+        ser = ProtobufLikeSerializer()
+        assert ser.deserialize_ns(self.SCHEMA) > ser.serialize_ns(self.SCHEMA)
+
+    def test_flat_cheaper_than_protobuf(self):
+        assert FlatSerializer().serialize_ns(self.SCHEMA) < (
+            ProtobufLikeSerializer().serialize_ns(self.SCHEMA)
+        )
+
+    def test_zero_copy_is_size_independent(self):
+        ser = ZeroCopySerializer()
+        big = MessageSchema.blob("big", 1 << 20)
+        assert ser.serialize_ns(self.SCHEMA) == ser.serialize_ns(big)
+
+    def test_flat_decode_is_in_place(self):
+        ser = FlatSerializer()
+        assert ser.deserialize_ns(self.SCHEMA) < ser.serialize_ns(self.SCHEMA)
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            ProtobufLikeSerializer(per_field_ns=-1.0)
+        with pytest.raises(ValueError):
+            ZeroCopySerializer(fixed_ns=-1.0)
+
+
+class TestRpcLayer:
+    def test_round_trip_composition(self):
+        layer = RpcLayerModel(serializer=FlatSerializer())
+        req = MessageSchema.blob("req", 300)
+        resp = MessageSchema.blob("resp", 64)
+        assert layer.round_trip_ns(req, resp) == pytest.approx(
+            layer.request_ns(req) + layer.response_ns(resp)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RpcLayerModel(serializer=FlatSerializer(), header_parse_ns=-1.0)
+
+
+class TestProfiles:
+    def test_fig1_bands(self):
+        """The composed profiles land in Fig. 1's processing bands."""
+        assert 10_000 <= tcpip_stack().processing_ns() <= 25_000
+        assert 700 <= erpc_stack().processing_ns() <= 1_000
+        assert 25 <= nanorpc_stack().processing_ns() <= 60
+
+    def test_breakdown_sums_to_total(self):
+        for profile in (tcpip_stack(), erpc_stack(), nanorpc_stack()):
+            split = profile.breakdown()
+            assert split["transport_ns"] + split["rpc_layer_ns"] == (
+                pytest.approx(profile.processing_ns())
+            )
+
+    def test_larger_messages_cost_more(self):
+        profile = erpc_stack()
+        assert profile.processing_ns(4_096, 64) > profile.processing_ns(64, 64)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            tcpip_stack().processing_ns(-1, 64)

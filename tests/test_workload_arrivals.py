@@ -1,0 +1,102 @@
+"""Unit and statistical tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+def measured_rate_rps(process, n=60_000, seed=0):
+    rng = np.random.default_rng(seed)
+    gaps = [process.next_gap(rng) for _ in range(n)]
+    return n / sum(gaps) * 1e9
+
+
+class TestPoisson:
+    def test_mean_rate_property(self):
+        assert PoissonArrivals(2e6).mean_rate == pytest.approx(2e6 / 1e9)
+
+    def test_measured_rate_matches_nominal(self):
+        assert measured_rate_rps(PoissonArrivals(5e6)) == pytest.approx(
+            5e6, rel=0.03
+        )
+
+    def test_gaps_are_memoryless_cv(self):
+        rng = np.random.default_rng(1)
+        p = PoissonArrivals(1e6)
+        gaps = np.array([p.next_gap(rng) for _ in range(30_000)])
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestDeterministic:
+    def test_constant_gaps(self):
+        p = DeterministicArrivals(1e6)
+        rng = np.random.default_rng(0)
+        assert p.next_gap(rng) == p.next_gap(rng) == 1000.0
+
+
+class TestMMPP:
+    def test_long_run_rate_matches_nominal(self):
+        p = MMPPArrivals(100e6, burst_factor=3.0, calm_fraction=0.75,
+                         mean_dwell_ns=10_000.0, batch_mean=4.0)
+        # Short dwells -> many state cycles -> tight statistics.
+        assert measured_rate_rps(p, n=200_000) == pytest.approx(100e6, rel=0.05)
+
+    def test_burstier_than_poisson(self):
+        rng = np.random.default_rng(2)
+        p = MMPPArrivals(10e6, burst_factor=4.0, calm_fraction=0.8,
+                         mean_dwell_ns=20_000.0, batch_mean=4.0)
+        gaps = np.array([p.next_gap(rng) for _ in range(50_000)])
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5  # markedly over-dispersed vs Poisson (cv2 = 1)
+
+    def test_batches_produce_tiny_gaps(self):
+        rng = np.random.default_rng(3)
+        p = MMPPArrivals(10e6, burst_factor=4.0, calm_fraction=0.8,
+                         mean_dwell_ns=20_000.0, batch_mean=5.0)
+        gaps = [p.next_gap(rng) for _ in range(20_000)]
+        assert any(g == 0.0 for g in gaps)  # back-to-back batch trains
+
+    def test_infeasible_parameters_rejected(self):
+        # Burst traffic alone would exceed the mean rate.
+        with pytest.raises(ValueError):
+            MMPPArrivals(1e6, burst_factor=10.0, calm_fraction=0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1e6, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1e6, calm_fraction=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1e6, batch_mean=0.5)
+
+
+class TestTraceArrivals:
+    def test_replays_and_cycles(self):
+        p = TraceArrivals([10.0, 20.0])
+        rng = np.random.default_rng(0)
+        assert [p.next_gap(rng) for _ in range(4)] == [10.0, 20.0, 10.0, 20.0]
+
+    def test_mean_rate(self):
+        p = TraceArrivals([10.0, 30.0])
+        assert p.mean_rate == pytest.approx(2 / 40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, -1.0])
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0, 0.0])

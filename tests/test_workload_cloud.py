@@ -1,0 +1,112 @@
+"""Tests for the synthetic cloud-traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.cloud import RateSeriesArrivals, synthesize_rate_series
+
+
+class TestSynthesizer:
+    def test_series_shape(self):
+        segments = synthesize_rate_series(1e6, 100, 1_000.0, seed=1)
+        assert len(segments) == 100
+        assert all(d == 1_000.0 for d, _ in segments)
+        assert all(r > 0 for _, r in segments)
+
+    def test_mean_rate_near_target(self):
+        segments = synthesize_rate_series(1e6, 5_000, 1_000.0,
+                                          volatility=0.25, seed=2)
+        rates = np.array([r for _, r in segments])
+        assert rates.mean() == pytest.approx(1e6, rel=0.1)
+
+    def test_autocorrelation_positive(self):
+        segments = synthesize_rate_series(1e6, 5_000, 1_000.0,
+                                          correlation=0.95, seed=3)
+        log_rates = np.log([r for _, r in segments])
+        x, y = log_rates[:-1], log_rates[1:]
+        corr = np.corrcoef(x, y)[0, 1]
+        assert corr > 0.8  # the wander is genuinely persistent
+
+    def test_zero_volatility_is_constant(self):
+        segments = synthesize_rate_series(1e6, 50, 1_000.0, volatility=0.0)
+        rates = {round(r) for _, r in segments}
+        assert len(rates) == 1
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_rate_series(1e6, 20, 1_000.0, seed=9)
+        b = synthesize_rate_series(1e6, 20, 1_000.0, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_rate_series(0.0, 10, 1_000.0)
+        with pytest.raises(ValueError):
+            synthesize_rate_series(1e6, 0, 1_000.0)
+        with pytest.raises(ValueError):
+            synthesize_rate_series(1e6, 10, 1_000.0, correlation=1.0)
+
+
+class TestRateSeriesArrivals:
+    def test_follows_the_schedule(self):
+        """Fast and slow segments produce proportionally many arrivals."""
+        process = RateSeriesArrivals(
+            [(1e6, 10e6), (1e6, 1e6)]  # 1 ms at 10 MRPS, 1 ms at 1 MRPS
+        )
+        rng = np.random.default_rng(0)
+        t = 0.0
+        fast, slow = 0, 0
+        for _ in range(110_000):
+            t += process.next_gap(rng)
+            if t % 2e6 < 1e6:
+                fast += 1
+            else:
+                slow += 1
+        # Partial trailing windows bias the ratio a little; the order of
+        # magnitude must be right.
+        assert fast / max(1, slow) == pytest.approx(10.0, rel=0.35)
+
+    def test_mean_rate_weighted_by_duration(self):
+        process = RateSeriesArrivals([(3e6, 1e6), (1e6, 5e6)])
+        # (3ms*1M + 1ms*5M) / 4ms = 2 MRPS.
+        assert process.mean_rate == pytest.approx(2e6 / 1e9)
+
+    def test_measured_rate_matches_schedule(self):
+        """The process realizes its *schedule's* mean (the schedule
+        itself wanders around the nominal target; see synthesizer
+        tests for that property)."""
+        segments = synthesize_rate_series(2e6, 50, 100_000.0, seed=5)
+        process = RateSeriesArrivals(segments)
+        rng = np.random.default_rng(1)
+        n = 40_000
+        total = sum(process.next_gap(rng) for _ in range(n))
+        assert n / total == pytest.approx(process.mean_rate, rel=0.05)
+
+    def test_schedule_cycles(self):
+        process = RateSeriesArrivals([(100.0, 1e9)])
+        rng = np.random.default_rng(0)
+        gaps = [process.next_gap(rng) for _ in range(1_000)]
+        assert all(g >= 0 for g in gaps)
+
+    def test_drives_a_simulation(self):
+        from repro.api import run_workload
+        from repro.schedulers.jbsq import ideal_cfcfs
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+        from repro.workload.service import Fixed
+
+        sim, streams = Simulator(), RandomStreams(3)
+        system = ideal_cfcfs(sim, streams, 8)
+        segments = synthesize_rate_series(4e6, 200, 10_000.0, seed=7)
+        result = run_workload(
+            system, sim, streams, RateSeriesArrivals(segments),
+            Fixed(1_000.0), n_requests=3_000, warmup_fraction=0.0,
+        )
+        assert len(result.requests) == 3_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSeriesArrivals([])
+        with pytest.raises(ValueError):
+            RateSeriesArrivals([(0.0, 1e6)])
+        with pytest.raises(ValueError):
+            RateSeriesArrivals([(1e6, 0.0)])

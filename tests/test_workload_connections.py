@@ -1,0 +1,62 @@
+"""Unit tests for connection pools and RSS hashing."""
+
+import numpy as np
+import pytest
+
+from repro.workload.connections import ConnectionPool
+
+
+class TestSampling:
+    def test_uniform_pool_covers_connections(self):
+        pool = ConnectionPool.uniform(8)
+        rng = np.random.default_rng(0)
+        seen = {pool.sample(rng) for _ in range(500)}
+        assert seen == set(range(8))
+
+    def test_skewed_pool_prefers_low_ranks(self):
+        pool = ConnectionPool.skewed(64, zipf_s=1.2)
+        rng = np.random.default_rng(0)
+        samples = [pool.sample(rng) for _ in range(5000)]
+        head = sum(1 for s in samples if s < 8)
+        assert head / len(samples) > 0.5  # hot head dominates
+
+    def test_popularity_sums_to_one(self):
+        for pool in (ConnectionPool.uniform(10), ConnectionPool.skewed(10)):
+            assert sum(pool.popularity()) == pytest.approx(1.0)
+
+    def test_popularity_is_descending_when_skewed(self):
+        pop = ConnectionPool.skewed(16, zipf_s=1.0).popularity()
+        assert all(a >= b for a, b in zip(pop, pop[1:]))
+
+
+class TestHashing:
+    def test_hash_is_stable(self):
+        pool = ConnectionPool(16)
+        assert pool.hash_to_queue(5, 4) == pool.hash_to_queue(5, 4)
+
+    def test_hash_within_range(self):
+        pool = ConnectionPool(1000)
+        for conn in range(200):
+            assert 0 <= pool.hash_to_queue(conn, 7) < 7
+
+    def test_hash_spreads_connections(self):
+        pool = ConnectionPool(4096)
+        queues = [pool.hash_to_queue(c, 16) for c in range(4096)]
+        counts = np.bincount(queues, minlength=16)
+        # No queue wildly over/under-loaded for dense connection ids.
+        assert counts.min() > 4096 / 16 * 0.5
+        assert counts.max() < 4096 / 16 * 1.5
+
+    def test_invalid_queue_count_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionPool(4).hash_to_queue(0, 0)
+
+
+class TestValidation:
+    def test_zero_connections_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionPool(0)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionPool(4, zipf_s=-1.0)

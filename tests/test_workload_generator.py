@@ -1,0 +1,96 @@
+"""Unit tests for the open-loop load generator."""
+
+import pytest
+
+from repro.workload.arrivals import DeterministicArrivals
+from repro.workload.generator import LoadGenerator
+from repro.workload.request import RequestKind
+from repro.workload.service import Fixed
+
+
+def make_generator(sim, streams, sink, n=10, rate_rps=1e6, **kwargs):
+    return LoadGenerator(
+        sim,
+        streams,
+        DeterministicArrivals(rate_rps),
+        Fixed(100.0),
+        sink=sink,
+        n_requests=n,
+        **kwargs,
+    )
+
+
+class TestEmission:
+    def test_emits_exactly_n_requests(self, sim, streams):
+        seen = []
+        gen = make_generator(sim, streams, seen.append, n=7)
+        gen.start()
+        sim.run()
+        assert len(seen) == 7
+        assert gen.done
+
+    def test_request_ids_are_sequential(self, sim, streams):
+        seen = []
+        gen = make_generator(sim, streams, seen.append, n=5)
+        gen.start()
+        sim.run()
+        assert [r.req_id for r in seen] == [0, 1, 2, 3, 4]
+
+    def test_arrival_times_match_gaps(self, sim, streams):
+        seen = []
+        gen = make_generator(sim, streams, seen.append, n=3, rate_rps=1e6)
+        gen.start()
+        sim.run()
+        assert [r.arrival for r in seen] == [1000.0, 2000.0, 3000.0]
+
+    def test_open_loop_ignores_sink_behaviour(self, sim, streams):
+        # A sink that does nothing (requests never complete) must not
+        # stall the generator.
+        gen = make_generator(sim, streams, lambda r: None, n=50)
+        gen.start()
+        sim.run()
+        assert gen.emitted == 50
+
+
+class TestHooks:
+    def test_request_factory_decorates(self, sim, streams):
+        def factory(request):
+            request.kind = RequestKind.GET
+
+        seen = []
+        gen = make_generator(sim, streams, seen.append, n=3,
+                             request_factory=factory)
+        gen.start()
+        sim.run()
+        assert all(r.kind is RequestKind.GET for r in seen)
+
+    def test_warmup_fraction_excludes_prefix(self, sim, streams):
+        gen = make_generator(sim, streams, lambda r: None, n=10,
+                             warmup_fraction=0.3)
+        gen.start()
+        sim.run()
+        for r in gen.requests:
+            r.finished = r.arrival + 1.0  # mark all complete
+        measured = gen.measured_requests()
+        assert len(measured) == 7
+        assert measured[0].req_id == 3
+
+    def test_measured_excludes_incomplete_and_dropped(self, sim, streams):
+        gen = make_generator(sim, streams, lambda r: None, n=4)
+        gen.start()
+        sim.run()
+        gen.requests[0].finished = gen.requests[0].arrival + 1
+        gen.requests[1].dropped = True
+        measured = gen.measured_requests()
+        assert [r.req_id for r in measured] == [0]
+
+
+class TestValidation:
+    def test_zero_requests_rejected(self, sim, streams):
+        with pytest.raises(ValueError):
+            make_generator(sim, streams, lambda r: None, n=0)
+
+    def test_bad_warmup_rejected(self, sim, streams):
+        with pytest.raises(ValueError):
+            make_generator(sim, streams, lambda r: None, n=5,
+                           warmup_fraction=1.0)

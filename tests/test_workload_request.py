@@ -1,0 +1,75 @@
+"""Unit tests for the request record."""
+
+import pytest
+
+from repro.workload.request import Request, RequestKind
+from tests.conftest import make_request
+
+
+class TestLifecycle:
+    def test_latency_after_completion(self):
+        r = make_request(arrival=100.0)
+        r.finished = 1100.0
+        assert r.latency == 1000.0
+
+    def test_latency_before_completion_raises(self):
+        r = make_request()
+        with pytest.raises(ValueError):
+            _ = r.latency
+
+    def test_queueing_delay(self):
+        r = make_request(arrival=100.0)
+        r.started = 400.0
+        assert r.queueing_delay == 300.0
+
+    def test_queueing_delay_before_start_raises(self):
+        with pytest.raises(ValueError):
+            _ = make_request().queueing_delay
+
+    def test_remaining_initialised_to_service_time(self):
+        r = make_request(service_time=750.0)
+        assert r.remaining == 750.0
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(service_time=-1.0)
+
+
+class TestSloChecks:
+    def test_violates_when_over_target(self):
+        r = make_request(arrival=0.0)
+        r.finished = 11_000.0
+        assert r.violates(10_000.0)
+        assert not r.violates(12_000.0)
+
+    def test_incomplete_request_never_violates(self):
+        assert not make_request().violates(1.0)
+
+    def test_boundary_is_not_a_violation(self):
+        r = make_request(arrival=0.0)
+        r.finished = 10_000.0
+        assert not r.violates(10_000.0)
+
+
+class TestKinds:
+    def test_default_kind_is_generic(self):
+        assert make_request().kind is RequestKind.GENERIC
+
+    def test_kvs_kinds_exist(self):
+        assert {k.value for k in RequestKind} == {
+            "generic", "get", "set", "scan", "delete",
+        }
+
+    def test_full_construction(self):
+        r = Request(
+            req_id=5,
+            arrival=1.0,
+            service_time=2.0,
+            size_bytes=64,
+            connection=9,
+            kind=RequestKind.GET,
+            key=b"k",
+        )
+        assert r.size_bytes == 64
+        assert r.key == b"k"
+        assert not r.completed

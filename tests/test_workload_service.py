@@ -1,0 +1,156 @@
+"""Unit and property tests for service-time distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.service import (
+    Bimodal,
+    Exponential,
+    Fixed,
+    Lognormal,
+    TraceService,
+    Uniform,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestFixed:
+    def test_always_returns_value(self):
+        dist = Fixed(850.0)
+        assert all(dist.sample(RNG) == 850.0 for _ in range(10))
+
+    def test_mean_and_cv(self):
+        dist = Fixed(850.0)
+        assert dist.mean == 850.0
+        assert dist.squared_cv == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+
+class TestUniform:
+    def test_samples_within_bounds(self):
+        dist = Uniform(500.0, 1500.0)
+        for _ in range(200):
+            assert 500.0 <= dist.sample(RNG) <= 1500.0
+
+    def test_mean(self):
+        assert Uniform(500.0, 1500.0).mean == 1000.0
+
+    def test_analytic_cv(self):
+        dist = Uniform(500.0, 1500.0)
+        # var = (b-a)^2/12 = 1e6/12; mean^2 = 1e6
+        assert dist.squared_cv == pytest.approx(1.0 / 12.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(100.0, 50.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 50.0)
+
+
+class TestBimodal:
+    def test_fig10_configuration_mean(self):
+        dist = Bimodal(500.0, 500_000.0, 0.005)
+        assert dist.mean == pytest.approx(0.995 * 500 + 0.005 * 500_000)
+
+    def test_samples_are_one_of_two_modes(self):
+        dist = Bimodal(500.0, 5_000.0, 0.1)
+        values = {dist.sample(RNG) for _ in range(500)}
+        assert values <= {500.0, 5_000.0}
+        assert values == {500.0, 5_000.0}  # both modes appear
+
+    def test_long_fraction_statistics(self):
+        dist = Bimodal(1.0, 2.0, 0.3)
+        rng = np.random.default_rng(1)
+        longs = sum(dist.sample(rng) == 2.0 for _ in range(20_000))
+        assert longs / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_high_dispersion_cv(self):
+        dist = Bimodal(500.0, 500_000.0, 0.005)
+        assert dist.squared_cv > 100  # extremely dispersive, as the paper uses
+
+    def test_extreme_fractions(self):
+        assert Bimodal(1.0, 2.0, 0.0).mean == 1.0
+        assert Bimodal(1.0, 2.0, 1.0).mean == 2.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Bimodal(1.0, 2.0, 1.5)
+
+
+class TestExponential:
+    def test_mean_statistics(self):
+        dist = Exponential(1000.0)
+        rng = np.random.default_rng(2)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_cv_is_one(self):
+        assert Exponential(10.0).squared_cv == 1.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLognormal:
+    def test_mean_is_parameterized(self):
+        dist = Lognormal(1000.0, sigma=1.0)
+        rng = np.random.default_rng(3)
+        samples = [dist.sample(rng) for _ in range(50_000)]
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.08)
+
+    def test_cv_closed_form(self):
+        dist = Lognormal(1000.0, sigma=0.5)
+        assert dist.squared_cv == pytest.approx(np.expm1(0.25))
+
+    def test_zero_sigma_is_deterministic(self):
+        dist = Lognormal(1000.0, sigma=0.0)
+        assert dist.sample(RNG) == pytest.approx(1000.0)
+
+
+class TestTraceService:
+    def test_replays_in_order_and_cycles(self):
+        dist = TraceService([1.0, 2.0, 3.0])
+        got = [dist.sample(RNG) for _ in range(7)]
+        assert got == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]
+
+    def test_mean_matches_trace(self):
+        assert TraceService([1.0, 3.0]).mean == 2.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceService([])
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            TraceService([1.0, -2.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    short=st.floats(1.0, 1e4),
+    long_mult=st.floats(1.0, 1e3),
+    frac=st.floats(0.0, 1.0),
+)
+def test_bimodal_mean_between_modes(short, long_mult, frac):
+    """Property: the mean lies between the two modes."""
+    long_ns = short * long_mult
+    dist = Bimodal(short, long_ns, frac)
+    assert short - 1e-9 <= dist.mean <= long_ns + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(1.0, 1e6))
+def test_all_samples_nonnegative(mean):
+    """Property: every distribution only emits non-negative times."""
+    rng = np.random.default_rng(0)
+    for dist in (Fixed(mean), Exponential(mean), Lognormal(mean, 1.0),
+                 Uniform(0.0, mean)):
+        for _ in range(20):
+            assert dist.sample(rng) >= 0.0

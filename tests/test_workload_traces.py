@@ -1,0 +1,58 @@
+"""Unit tests for trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import Trace, build_trace, load_trace, save_trace
+
+
+class TestBuild:
+    def test_defaults_filled(self):
+        trace = build_trace([10.0, 20.0], [1.0, 2.0])
+        assert len(trace) == 2
+        assert list(trace.size_bytes) == [300, 300]
+        assert list(trace.connection) == [0, 1]
+
+    def test_mean_rate_and_service(self):
+        trace = build_trace([10.0, 30.0], [5.0, 15.0])
+        assert trace.mean_rate_rps == pytest.approx(2 / 40e-9)
+        assert trace.mean_service_ns == 10.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                gaps_ns=np.array([1.0]),
+                service_ns=np.array([1.0, 2.0]),
+                size_bytes=np.array([1]),
+                connection=np.array([1]),
+            )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            build_trace([], [])
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        trace = build_trace([10.0, 20.0, 30.0], [1.0, 2.0, 3.0],
+                            size_bytes=[64, 128, 256], connection=[7, 8, 9])
+        path = str(tmp_path / "trace.npz")
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.gaps_ns, trace.gaps_ns)
+        np.testing.assert_array_equal(loaded.service_ns, trace.service_ns)
+        np.testing.assert_array_equal(loaded.size_bytes, trace.size_bytes)
+        np.testing.assert_array_equal(loaded.connection, trace.connection)
+
+    def test_load_appends_npz_suffix(self, tmp_path):
+        trace = build_trace([1.0], [1.0])
+        base = str(tmp_path / "t")
+        save_trace(base, trace)
+        loaded = load_trace(base)  # no suffix supplied
+        assert len(loaded) == 1
+
+    def test_missing_fields_detected(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, gaps_ns=np.array([1.0]))
+        with pytest.raises(ValueError, match="missing fields"):
+            load_trace(path)
