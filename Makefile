@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples smoke clean
+.PHONY: install test bench artifacts examples smoke sweep-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,11 @@ artifacts:
 ## Quick regeneration at reduced scale (~5 min).
 smoke:
 	$(PYTHON) -m repro.experiments.cli all --scale 0.1 --out results/
+
+## Reduced-scale regeneration using every CPU and the result cache:
+## a second invocation replays cached sweep points from disk.
+sweep-fast:
+	$(PYTHON) -m repro.experiments.cli all --scale 0.2 --jobs 0 --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -22,12 +22,8 @@ from typing import List
 
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
-from repro.experiments.common import (
-    ExperimentResult,
-    gentle_bursts,
-    run_once,
-    scaled,
-)
+from repro.experiments.common import ExperimentResult, gentle_bursts, scaled
+from repro.runner import PointSpec, ref, run_points
 from repro.workload.connections import ConnectionPool
 from repro.workload.service import Bimodal
 
@@ -37,83 +33,92 @@ SLO_NS = L * SERVICE.mean
 N_GROUPS, GROUP_SIZE, LOAD = 8, 8, 0.85
 
 
-def _run(n_requests: int, seed: int, **config_overrides):
-    def builder(sim, streams):
-        config = AltocumulusConfig(
-            n_groups=N_GROUPS,
-            group_size=GROUP_SIZE,
-            period_ns=200.0,
-            bulk=16,
-            concurrency=4,
-            slo_multiplier=L,
-            offered_load=LOAD,
-            **config_overrides,
-        )
-        return AltocumulusSystem(sim, streams, config)
+def _ablation_builder(sim, streams, **config_overrides):
+    config = AltocumulusConfig(
+        n_groups=N_GROUPS,
+        group_size=GROUP_SIZE,
+        period_ns=200.0,
+        bulk=16,
+        concurrency=4,
+        slo_multiplier=L,
+        offered_load=LOAD,
+        **config_overrides,
+    )
+    return AltocumulusSystem(sim, streams, config)
 
+
+def _migration_metrics(result, slo_ns: float) -> dict:
+    """Worker-side distillation of the per-request migration columns."""
+    return {
+        "violations": sum(1 for r in result.requests if r.latency > slo_ns),
+        "migrated": sum(1 for r in result.requests if r.migrations > 0),
+        "hops": sum(r.migrations for r in result.requests),
+    }
+
+
+def _spec(n_requests: int, seed: int, tag: str, **config_overrides) -> PointSpec:
     workers = N_GROUPS * (GROUP_SIZE - 1)
     rate = LOAD * workers / SERVICE.mean * 1e9
-    return run_once(
-        builder,
-        gentle_bursts(rate),
-        SERVICE,
+    return PointSpec(
+        builder=ref(_ablation_builder, **config_overrides),
+        service=SERVICE,
+        rate_rps=rate,
         n_requests=n_requests,
         seed=seed,
-        connections=ConnectionPool.skewed(64, zipf_s=0.8),
+        arrivals=ref(gentle_bursts),
+        connections=ref(ConnectionPool.skewed, n_connections=64, zipf_s=0.8),
+        slo_ns=SLO_NS,
+        metrics=ref(_migration_metrics, slo_ns=SLO_NS),
+        tag=tag,
     )
 
 
-def _row(study: str, variant: str, result) -> List[object]:
-    system = result.system
-    violations = sum(1 for r in result.requests if r.latency > SLO_NS)
-    migrated = sum(1 for r in result.requests if r.migrations > 0)
-    hops = sum(r.migrations for r in result.requests)
+def _row(study: str, variant: str, point) -> List[object]:
     return [
         study,
         variant,
-        result.latency.p99 / 1000.0,
-        violations,
-        migrated,
-        hops,
+        point.latency.p99 / 1000.0,
+        point.metrics["violations"],
+        point.metrics["migrated"],
+        point.metrics["hops"],
     ]
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Run the design-choice ablation studies."""
     n = scaled(60_000, scale)
-    rows: List[List[object]] = []
 
-    # ---- threshold-mode ablation (Sec. IV trade-off)
-    rows.append(_row("threshold", "model",
-                     _run(n, seed, threshold_mode="model")))
-    rows.append(_row("threshold", "upper_bound",
-                     _run(n, seed, threshold_mode="upper_bound")))
-    rows.append(_row("threshold", "aggressive_fixed",
-                     _run(n, seed, threshold_mode="fixed",
-                          fixed_threshold=8.0)))
-
-    # ---- at-most-once migration (Sec. V-B opt. 4)
-    rows.append(_row("remigration", "at_most_once",
-                     _run(n, seed, allow_remigration=False)))
-    rows.append(_row("remigration", "unbounded",
-                     _run(n, seed, allow_remigration=True)))
-
-    # ---- messaging mechanism
-    rows.append(_row("messaging", "hw_registers", _run(n, seed, messaging="hw")))
-    rows.append(_row("messaging", "sw_caches", _run(n, seed, messaging="sw")))
-
-    # ---- local JBSQ depth
-    for bound in (1, 2, 4):
-        rows.append(_row("worker_bound", f"jbsq({bound})",
-                         _run(n, seed, worker_bound=bound)))
-
-    # ---- NoC fidelity: per-link contention on vs off.  The paper
-    # asserts scheduling traffic leaves the NoC lightly loaded [58];
-    # if so, the contended model must match the uncontended one.
-    rows.append(_row("noc", "ideal_links",
-                     _run(n, seed, noc_link_contention=False)))
-    rows.append(_row("noc", "contended_links",
-                     _run(n, seed, noc_link_contention=True)))
+    variants: List[tuple] = [
+        # ---- threshold-mode ablation (Sec. IV trade-off)
+        ("threshold", "model", {"threshold_mode": "model"}),
+        ("threshold", "upper_bound", {"threshold_mode": "upper_bound"}),
+        ("threshold", "aggressive_fixed",
+         {"threshold_mode": "fixed", "fixed_threshold": 8.0}),
+        # ---- at-most-once migration (Sec. V-B opt. 4)
+        ("remigration", "at_most_once", {"allow_remigration": False}),
+        ("remigration", "unbounded", {"allow_remigration": True}),
+        # ---- messaging mechanism
+        ("messaging", "hw_registers", {"messaging": "hw"}),
+        ("messaging", "sw_caches", {"messaging": "sw"}),
+        # ---- local JBSQ depth
+        *(("worker_bound", f"jbsq({bound})", {"worker_bound": bound})
+          for bound in (1, 2, 4)),
+        # ---- NoC fidelity: per-link contention on vs off.  The paper
+        # asserts scheduling traffic leaves the NoC lightly loaded [58];
+        # if so, the contended model must match the uncontended one.
+        ("noc", "ideal_links", {"noc_link_contention": False}),
+        ("noc", "contended_links", {"noc_link_contention": True}),
+    ]
+    specs = [
+        _spec(n, seed, tag=f"{study}:{variant}", **overrides)
+        for study, variant, overrides in variants
+    ]
+    rows = [
+        _row(study, variant, point)
+        for (study, variant, _), point in zip(
+            variants, run_points(specs, label="ablations")
+        )
+    ]
 
     return ExperimentResult(
         exp_id="ablations",

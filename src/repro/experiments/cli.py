@@ -5,6 +5,15 @@ Usage::
     altocumulus-exp fig10                 # one experiment, full scale
     altocumulus-exp all --scale 0.2       # everything, scaled down
     altocumulus-exp fig07 --out results/  # also write results/fig07.txt
+    altocumulus-exp all --jobs 0          # fan sweeps out, one worker/CPU
+    altocumulus-exp fig10 --no-cache      # force fresh execution
+
+Sweep points fan out over ``--jobs`` worker processes and are memoized
+in a content-addressed on-disk cache (``--cache-dir``, default
+``~/.cache/altocumulus``), so a repeated invocation replays from disk
+in seconds.  Results are bit-identical for a fixed ``--seed`` no matter
+the job count; ``--jobs 1 --no-cache`` reproduces the historical fully
+serial behavior exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.runner import default_cache_dir, detect_jobs, get_config, overrides
 from repro.experiments.registry import get_experiment, list_experiments
 
 
@@ -42,6 +52,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="with --out: also write <exp_id>.json",
     )
     parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for sweep points (0 = one per CPU, "
+             f"here {detect_jobs()}; 1 = serial in-process; default 0)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache location "
+             f"(default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress live sweep progress on stderr",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -50,19 +78,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n".join(list_experiments()))
         return 0
 
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    if args.cache_dir and not args.no_cache:
+        try:
+            from repro.runner import ResultCache
+
+            ResultCache(args.cache_dir)
+        except NotADirectoryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
-    for exp_id in ids:
-        run = get_experiment(exp_id)
-        started = time.time()
-        result = run(scale=args.scale, seed=args.seed)
-        elapsed = time.time() - started
-        print(result.table())
-        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
-        if args.out:
-            path = result.save(args.out)
-            print(f"[wrote {path}]\n")
-            if args.json:
-                print(f"[wrote {result.save_json(args.out)}]\n")
+    unknown = [exp_id for exp_id in ids if exp_id not in list_experiments()]
+    if unknown:
+        print(
+            f"error: unknown experiment {unknown[0]!r}\n"
+            f"available: {' '.join(list_experiments())} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+
+    with overrides(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=not args.no_progress,
+    ):
+        counters = get_config().counters
+        for exp_id in ids:
+            run = get_experiment(exp_id)
+            before = counters.snapshot()
+            started = time.time()
+            result = run(scale=args.scale, seed=args.seed)
+            elapsed = time.time() - started
+            print(result.table())
+            sweep = counters.delta(before)
+            stats = ""
+            if sweep.points:
+                stats = (
+                    f"; {sweep.points} sweep points, "
+                    f"{sweep.cache_hits} cached, {sweep.executed} executed"
+                )
+            print(f"[{exp_id} completed in {elapsed:.1f}s{stats}]\n")
+            if args.out:
+                path = result.save(args.out)
+                print(f"[wrote {path}]\n")
+                if args.json:
+                    print(f"[wrote {result.save_json(args.out)}]\n")
     return 0
 
 

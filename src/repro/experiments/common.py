@@ -1,10 +1,19 @@
 """Shared experiment machinery: result containers, sweep helpers and
 system factories parameterised the way the evaluation needs them.
+
+Sweeps route through :mod:`repro.runner`: each (builder, rate, seed)
+point becomes a picklable :class:`~repro.runner.PointSpec`, so the CLI's
+``--jobs`` fans figures out across worker processes and the
+content-addressed cache replays identical points instantly.  Builders
+passed as module-level callables (optionally ``functools.partial``) get
+this for free; closures still work but fall back to in-process serial
+execution, exactly as before the runner existed.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -12,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.analysis.metrics import summarize_latencies
 from repro.analysis.tables import format_table
 from repro.api import SimulationResult, run_workload
+from repro.runner import PointSpec, SpecError, maybe_ref, ref, run_points
 from repro.schedulers.base import RpcSystem
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -19,6 +29,24 @@ from repro.workload.arrivals import ArrivalProcess, MMPPArrivals, PoissonArrival
 from repro.workload.connections import ConnectionPool
 from repro.workload.request import Request
 from repro.workload.service import ServiceDistribution
+
+
+def _json_safe(value: object) -> object:
+    """Recursively replace non-finite floats, which ``json.dumps`` would
+    emit as bare ``NaN``/``Infinity`` literals -- invalid strict JSON
+    that breaks every downstream parser.  NaN becomes ``null``;
+    infinities keep their sign as strings."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 @dataclass
@@ -48,22 +76,25 @@ class ExperimentResult:
         return path
 
     def to_json(self) -> str:
-        """Machine-readable form (for downstream plotting pipelines)."""
+        """Machine-readable form (for downstream plotting pipelines).
+
+        Guaranteed to be strict JSON: NaN/Infinity values in rows or
+        series are sanitized first (``allow_nan=False`` enforces it),
+        and any non-serializable object falls back to ``str``.
+        """
 
         def default(value: object) -> object:
-            if isinstance(value, float) and value != value:
-                return None  # NaN has no JSON spelling
             return str(value)
 
         payload = {
             "exp_id": self.exp_id,
             "title": self.title,
             "headers": self.headers,
-            "rows": self.rows,
+            "rows": _json_safe(self.rows),
             "notes": self.notes,
-            "series": self.series,
+            "series": _json_safe(self.series),
         }
-        return json.dumps(payload, indent=2, default=default)
+        return json.dumps(payload, indent=2, default=default, allow_nan=False)
 
     def save_json(self, directory: str) -> str:
         """Write the JSON form to ``directory/<exp_id>.json``."""
@@ -88,7 +119,12 @@ def run_once(
     request_factory: Optional[Callable[[Request], None]] = None,
     size_bytes: int = 300,
 ) -> SimulationResult:
-    """Build a fresh simulator + system and run one workload through it."""
+    """Build a fresh simulator + system and run one workload through it.
+
+    This is the in-process single-run primitive; sweeps that want
+    parallelism and caching go through :func:`repro.runner.run_points`
+    with :class:`~repro.runner.PointSpec` data instead.
+    """
     sim = Simulator()
     streams = RandomStreams(seed)
     system = builder(sim, streams)
@@ -127,6 +163,7 @@ def latency_throughput_curve(
     arrival_factory: Optional[Callable[[float], ArrivalProcess]] = None,
     connections: Optional[Callable[[], ConnectionPool]] = None,
     request_factory_factory: Optional[Callable[[], Callable[[Request], None]]] = None,
+    label: str = "sweep",
 ) -> List[SweepPoint]:
     """Sweep offered rates and collect the tail-latency curve.
 
@@ -134,7 +171,58 @@ def latency_throughput_curve(
     ``lambda r: MMPPArrivals(r)`` for the real-world pattern.  Fresh
     connections / request factories are created per point so state (like
     the MICA store) does not leak across loads.
+
+    When every callable is module-level (and therefore picklable), the
+    sweep is dispatched through :func:`repro.runner.run_points` and
+    obeys the process-wide ``--jobs`` / cache configuration; closures
+    fall back to the historical in-process serial loop with identical
+    results.
     """
+    try:
+        specs = [
+            PointSpec(
+                builder=ref(builder),
+                service=service,
+                rate_rps=float(rate),
+                n_requests=n_requests,
+                seed=seed,
+                arrivals=maybe_ref(arrival_factory),
+                connections=maybe_ref(connections),
+                request_factory=maybe_ref(request_factory_factory),
+                slo_ns=slo_ns,
+                tag=label,
+            )
+            for rate in rates_rps
+        ]
+    except SpecError:
+        return _serial_curve(
+            builder, rates_rps, service, n_requests, slo_ns, seed,
+            arrival_factory, connections, request_factory_factory,
+        )
+    return [
+        SweepPoint(
+            rate_rps=result.rate_rps,
+            p99_ns=result.p99_ns,
+            mean_ns=result.mean_ns,
+            throughput_rps=result.throughput_rps,
+            violation_ratio=result.violation_ratio or 0.0,
+        )
+        for result in run_points(specs, label=label)
+    ]
+
+
+def _serial_curve(
+    builder: SystemBuilder,
+    rates_rps: Sequence[float],
+    service: ServiceDistribution,
+    n_requests: int,
+    slo_ns: float,
+    seed: int,
+    arrival_factory: Optional[Callable[[float], ArrivalProcess]],
+    connections: Optional[Callable[[], ConnectionPool]],
+    request_factory_factory: Optional[Callable[[], Callable[[Request], None]]],
+) -> List[SweepPoint]:
+    """In-process fallback for closure-based builders (pre-runner path)."""
     make_arrivals = arrival_factory or (lambda r: PoissonArrivals(r))
     points: List[SweepPoint] = []
     for rate in rates_rps:

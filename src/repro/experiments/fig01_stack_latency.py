@@ -19,60 +19,68 @@ scheduling dominates -- re-emerges from the measured split.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, run_once, scaled
+from repro.experiments.common import ExperimentResult, scaled
 from repro.hw.nic import PcieDelivery
+from repro.runner import PointSpec, ref, run_points
 from repro.stack import erpc_stack, nanorpc_stack, tcpip_stack
 from repro.schedulers.centralized import ShinjukuSystem
 from repro.schedulers.jbsq import nebula
 from repro.schedulers.work_stealing import ZygosSystem
-from repro.workload.arrivals import PoissonArrivals
 from repro.workload.service import Fixed
 
-#: (stack profile, core load, system builder factory).  Processing
-#: costs come from the composable stack models of :mod:`repro.stack`,
-#: evaluated at the figure's 300 B request / 64 B response point.
+
+def _tcpip_builder(sim, streams):
+    return ShinjukuSystem(
+        sim,
+        streams,
+        16,
+        delivery=PcieDelivery(),
+        dispatch_ns=1_500.0,  # interrupt + kernel wakeup per request
+        quantum_ns=1_000_000.0,
+        switch_overhead_ns=1_000.0,
+    )
+
+
+def _erpc_builder(sim, streams):
+    return ZygosSystem(sim, streams, 16, delivery=PcieDelivery())
+
+
+def _nanorpc_builder(sim, streams):
+    return nebula(sim, streams, 16)
+
+
+#: (stack profile, core load, system builder).  Processing costs come
+#: from the composable stack models of :mod:`repro.stack`, evaluated at
+#: the figure's 300 B request / 64 B response point.  Kernel stacks run
+#: at low utilization (0.3) to bound latency.
 _STACKS = [
-    (
-        tcpip_stack(),
-        0.3,  # kernel stacks run at low utilization to bound latency
-        lambda sim, streams: ShinjukuSystem(
-            sim,
-            streams,
-            16,
-            delivery=PcieDelivery(),
-            dispatch_ns=1_500.0,  # interrupt + kernel wakeup per request
-            quantum_ns=1_000_000.0,
-            switch_overhead_ns=1_000.0,
-        ),
-    ),
-    (
-        erpc_stack(),
-        0.5,
-        lambda sim, streams: ZygosSystem(sim, streams, 16, delivery=PcieDelivery()),
-    ),
-    (
-        nanorpc_stack(),
-        0.5,
-        lambda sim, streams: nebula(sim, streams, 16),
-    ),
+    (tcpip_stack(), 0.3, _tcpip_builder),
+    (erpc_stack(), 0.5, _erpc_builder),
+    (nanorpc_stack(), 0.5, _nanorpc_builder),
 ]
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Regenerate Fig. 1 (processing vs scheduling split)."""
     n_requests = scaled(30_000, scale)
-    rows = []
+    specs = []
     for profile, load, builder in _STACKS:
+        processing_ns = profile.processing_ns()
+        specs.append(
+            PointSpec(
+                builder=ref(builder),
+                service=Fixed(processing_ns),
+                rate_rps=load * 16 / processing_ns * 1e9,
+                n_requests=n_requests,
+                seed=seed,
+                tag=profile.name,
+            )
+        )
+    results = run_points(specs, label="fig01")
+    rows = []
+    for (profile, load, _builder), result in zip(_STACKS, results):
         name = profile.name
         processing_ns = profile.processing_ns()
-        rate_rps = load * 16 / processing_ns * 1e9
-        result = run_once(
-            builder,
-            PoissonArrivals(rate_rps),
-            Fixed(processing_ns),
-            n_requests=n_requests,
-            seed=seed,
-        )
         mean_latency = result.latency.mean
         scheduling_ns = max(0.0, mean_latency - processing_ns)
         rows.append(

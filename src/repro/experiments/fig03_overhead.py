@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.experiments.common import ExperimentResult, run_once, scaled
+from repro.experiments.common import ExperimentResult, scaled
+from repro.runner import PointSpec, ref, run_points
 from repro.schedulers.jbsq import ideal_cfcfs
-from repro.workload.arrivals import PoissonArrivals
 from repro.workload.service import Fixed
 
 N_CORES = 64
@@ -27,30 +27,36 @@ OVERHEADS_NS = [5.0, 45.0, 90.0, 135.0, 180.0, 360.0]
 LOADS = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
 
 
+def _builder(sim, streams, overhead_ns: float = 0.0):
+    return ideal_cfcfs(sim, streams, N_CORES, startup_overhead_ns=overhead_ns)
+
+
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Regenerate Fig. 3 (p99 vs load across scheduling overheads)."""
     n_requests = scaled(30_000, scale)
     base_capacity_rps = N_CORES / SERVICE_NS * 1e9
+    grid = [(overhead, load) for overhead in OVERHEADS_NS for load in LOADS]
+    specs = [
+        PointSpec(
+            builder=ref(_builder, overhead_ns=overhead),
+            service=Fixed(SERVICE_NS),
+            rate_rps=load * base_capacity_rps,
+            n_requests=n_requests,
+            seed=seed,
+            slo_ns=SLO_P99_NS,
+            tag=f"overhead={overhead:.0f}ns",
+        )
+        for overhead, load in grid
+    ]
+    results = run_points(specs, label="fig03")
     rows: List[List[object]] = []
     tput_at_slo = {}
-    for overhead in OVERHEADS_NS:
-        best = 0.0
-        for load in LOADS:
-            rate = load * base_capacity_rps
-            result = run_once(
-                lambda sim, streams: ideal_cfcfs(
-                    sim, streams, N_CORES, startup_overhead_ns=overhead
-                ),
-                PoissonArrivals(rate),
-                Fixed(SERVICE_NS),
-                n_requests=n_requests,
-                seed=seed,
-            )
-            p99 = result.latency.p99
-            rows.append([overhead, load, p99 / 1000.0])
-            if p99 <= SLO_P99_NS and load > best:
-                best = load
-        tput_at_slo[overhead] = best
+    for (overhead, load), result in zip(grid, results):
+        p99 = result.latency.p99
+        rows.append([overhead, load, p99 / 1000.0])
+        best = tput_at_slo.setdefault(overhead, 0.0)
+        if p99 <= SLO_P99_NS and load > best:
+            tput_at_slo[overhead] = load
     ratio = (
         tput_at_slo[OVERHEADS_NS[0]] / tput_at_slo[OVERHEADS_NS[-1]]
         if tput_at_slo[OVERHEADS_NS[-1]] > 0

@@ -38,9 +38,9 @@ from repro.core.prediction import (
     first_violation_threshold,
     upper_bound_threshold,
 )
-from repro.experiments.common import ExperimentResult, run_once, scaled
+from repro.experiments.common import ExperimentResult, scaled
+from repro.runner import PointSpec, ref, run_points
 from repro.schedulers.jbsq import ideal_cfcfs
-from repro.workload.arrivals import PoissonArrivals
 from repro.workload.service import Bimodal, Fixed, ServiceDistribution, Uniform
 
 N_CORES = 64
@@ -59,32 +59,44 @@ _DISTRIBUTIONS: List[Tuple[str, ServiceDistribution]] = [
 CALIBRATION_LOADS = [0.95, 0.97, 0.985, 0.995]
 
 
-def _violation_data(
-    service: ServiceDistribution,
-    load: float,
-    n_requests: int,
-    seed: int,
-    l_multiplier: float = L,
-) -> Tuple[List[int], List[bool]]:
-    """(queue length at arrival, violated?) pairs for one run."""
-    rate = load * N_CORES / service.mean * 1e9
-    slo_ns = l_multiplier * service.mean
-    result = run_once(
-        lambda sim, streams: ideal_cfcfs(sim, streams, N_CORES),
-        PoissonArrivals(rate),
-        service,
-        n_requests=n_requests,
-        seed=seed,
-        warmup_fraction=0.05,
-    )
+def _cfcfs_builder(sim, streams):
+    return ideal_cfcfs(sim, streams, N_CORES)
+
+
+def _qlen_metrics(result, slo_ns: float) -> dict:
+    """Worker-side distillation: (queue length at arrival, violated?)
+    pairs, so the full request log never crosses the process boundary."""
     qlens: List[int] = []
     violated: List[bool] = []
     for r in result.requests:
         if r.queue_len_at_arrival is None:
             continue
         qlens.append(r.queue_len_at_arrival)
-        violated.append(r.latency > slo_ns)
-    return qlens, violated
+        violated.append(bool(r.latency > slo_ns))
+    return {"qlens": qlens, "violated": violated}
+
+
+def _violation_spec(
+    service: ServiceDistribution,
+    load: float,
+    n_requests: int,
+    seed: int,
+    l_multiplier: float = L,
+    tag: str = "",
+) -> PointSpec:
+    """One run yielding (queue length at arrival, violated?) pairs."""
+    slo_ns = l_multiplier * service.mean
+    return PointSpec(
+        builder=ref(_cfcfs_builder),
+        service=service,
+        rate_rps=load * N_CORES / service.mean * 1e9,
+        n_requests=n_requests,
+        seed=seed,
+        warmup_fraction=0.05,
+        slo_ns=slo_ns,
+        metrics=ref(_qlen_metrics, slo_ns=slo_ns),
+        tag=tag,
+    )
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
@@ -93,9 +105,26 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     rows: List[List[object]] = []
     t_lower: Dict[str, float] = {}
 
+    # One batch: panels (a)-(c) plus the panel-(d) calibration loads.
+    specs = [
+        _violation_spec(service, PANEL_LOAD, n_requests, seed, tag=name)
+        for name, service in _DISTRIBUTIONS
+    ]
+    cal_service = _DISTRIBUTIONS[0][1]
+    specs += [
+        _violation_spec(
+            cal_service, load, n_requests, seed + int(load * 1000),
+            l_multiplier=L_CAL, tag=f"cal@{load}",
+        )
+        for load in CALIBRATION_LOADS
+    ]
+    results = run_points(specs, label="fig07")
+    panel_results = results[: len(_DISTRIBUTIONS)]
+    cal_results = results[len(_DISTRIBUTIONS):]
+
     # ---- panels (a)-(c): violation ratio vs queue length
-    for name, service in _DISTRIBUTIONS:
-        qlens, violated = _violation_data(service, PANEL_LOAD, n_requests, seed)
+    for (name, service), point in zip(_DISTRIBUTIONS, panel_results):
+        qlens, violated = point.metrics["qlens"], point.metrics["violated"]
         t, _count = first_violation_threshold(qlens, violated)
         t_lower[name] = t
         arr_q = np.asarray(qlens)
@@ -112,11 +141,8 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     # ---- panel (d): T_lower vs load, Eq. 2 calibration (Fixed dist.)
     cal_loads: List[float] = []
     cal_ts: List[float] = []
-    service = _DISTRIBUTIONS[0][1]
-    for load in CALIBRATION_LOADS:
-        qlens, violated = _violation_data(
-            service, load, n_requests, seed + int(load * 1000), l_multiplier=L_CAL
-        )
+    for load, point in zip(CALIBRATION_LOADS, cal_results):
+        qlens, violated = point.metrics["qlens"], point.metrics["violated"]
         t, _count = first_violation_threshold(qlens, violated)
         if np.isfinite(t):
             cal_loads.append(load * N_CORES)

@@ -16,6 +16,7 @@ from typing import List, Tuple
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.experiments.common import ExperimentResult, scaled
+from repro.runner import TaskSpec, ref, run_points
 from repro.workload.arrivals import MMPPArrivals
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -105,10 +106,18 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Regenerate Fig. 9 (NetRX imbalance snapshots)."""
     n_requests = scaled(150_000, scale)
     rows: List[List[object]] = []
-    for policy in POLICIES:
-        snapshot, when = _run_policy(policy, n_requests, seed)
+    specs = [
+        TaskSpec(
+            fn=ref(_run_policy, policy=policy, n_requests=n_requests,
+                   seed=seed),
+            tag=policy,
+        )
+        for policy in POLICIES
+    ]
+    for policy, result in zip(POLICIES, run_points(specs, label="fig09")):
+        snapshot, when = result.value
         spread = max(snapshot) - min(snapshot)
-        rows.append([policy] + snapshot + [spread, when / 1000.0])
+        rows.append([policy] + list(snapshot) + [spread, when / 1000.0])
     return ExperimentResult(
         exp_id="fig09",
         title="NetRX queue lengths at the 10th SLO violation (4x64 cores)",

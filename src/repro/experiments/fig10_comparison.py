@@ -22,11 +22,12 @@ from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.experiments.common import (
     ExperimentResult,
-    latency_throughput_curve,
+    SweepPoint,
     scaled,
     throughput_at_slo,
 )
 from repro.hw.nic import PcieDelivery
+from repro.runner import SweepSpec, ref, run_points
 from repro.schedulers.centralized import ShinjukuSystem
 from repro.schedulers.jbsq import nanopu, nebula, rpcvalet
 from repro.schedulers.rss import IxSystem
@@ -38,6 +39,35 @@ SLO_NS = 300_000.0
 SERVICE = Bimodal(short_ns=500.0, long_ns=500_000.0, long_fraction=0.005)
 #: Offered rates in MRPS (ideal capacity ~5.35 MRPS at 2.99 us mean).
 RATES_MRPS = [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0]
+
+
+# IX and ZygOS run a traditional network stack on the worker cores
+# themselves (Sec. VII-A); ~2 us per small message of on-core stack
+# work rides on every request (Fig. 1's processing gap).
+def _ix_builder(sim, streams):
+    return IxSystem(sim, streams, N_CORES, delivery=PcieDelivery(),
+                    per_request_overhead_ns=2_000.0)
+
+
+def _zygos_builder(sim, streams):
+    return ZygosSystem(sim, streams, N_CORES, delivery=PcieDelivery(),
+                       per_request_overhead_ns=2_000.0)
+
+
+def _shinjuku_builder(sim, streams):
+    return ShinjukuSystem(sim, streams, N_CORES, delivery=PcieDelivery())
+
+
+def _rpcvalet_builder(sim, streams):
+    return rpcvalet(sim, streams, N_CORES)
+
+
+def _nebula_builder(sim, streams):
+    return nebula(sim, streams, N_CORES)
+
+
+def _nanopu_builder(sim, streams):
+    return nanopu(sim, streams, N_CORES)
 
 
 def _ac_rss_builder(sim, streams):
@@ -56,44 +86,55 @@ def _ac_rss_builder(sim, streams):
 
 
 _SYSTEMS = {
-    # IX and ZygOS run a traditional network stack on the worker cores
-    # themselves (Sec. VII-A); ~2 us per small message of on-core stack
-    # work rides on every request (Fig. 1's processing gap).
-    "ix": lambda sim, streams: IxSystem(
-        sim, streams, N_CORES, delivery=PcieDelivery(),
-        per_request_overhead_ns=2_000.0,
-    ),
-    "zygos": lambda sim, streams: ZygosSystem(
-        sim, streams, N_CORES, delivery=PcieDelivery(),
-        per_request_overhead_ns=2_000.0,
-    ),
-    "shinjuku": lambda sim, streams: ShinjukuSystem(
-        sim, streams, N_CORES, delivery=PcieDelivery()
-    ),
-    "rpcvalet": lambda sim, streams: rpcvalet(sim, streams, N_CORES),
-    "nebula": lambda sim, streams: nebula(sim, streams, N_CORES),
-    "nanopu": lambda sim, streams: nanopu(sim, streams, N_CORES),
+    "ix": _ix_builder,
+    "zygos": _zygos_builder,
+    "shinjuku": _shinjuku_builder,
+    "rpcvalet": _rpcvalet_builder,
+    "nebula": _nebula_builder,
+    "nanopu": _nanopu_builder,
     "ac_rss": _ac_rss_builder,
 }
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
-    """Regenerate Fig. 10 (seven-system latency-throughput curves)."""
+    """Regenerate Fig. 10 (seven-system latency-throughput curves).
+
+    All 7 systems x 11 rates dispatch as one 77-point batch, so a
+    parallel run keeps every worker busy across system boundaries.
+    """
     from repro.analysis.ascii_plot import line_chart
 
     n_requests = scaled(150_000, scale, minimum=5_000)
+    specs = []
+    for name, builder in _SYSTEMS.items():
+        specs.extend(
+            SweepSpec(
+                builder=ref(builder),
+                service=SERVICE,
+                rates_rps=[r * 1e6 for r in RATES_MRPS],
+                n_requests=n_requests,
+                seed=seed,
+                slo_ns=SLO_NS,
+                tag=name,
+            ).points()
+        )
+    results = run_points(specs, label="fig10")
+
     rows: List[List[object]] = []
     at_slo: Dict[str, float] = {}
     curves: Dict[str, list] = {}
-    for name, builder in _SYSTEMS.items():
-        points = latency_throughput_curve(
-            builder,
-            [r * 1e6 for r in RATES_MRPS],
-            SERVICE,
-            n_requests=n_requests,
-            slo_ns=SLO_NS,
-            seed=seed,
-        )
+    for name in _SYSTEMS:
+        points = [
+            SweepPoint(
+                rate_rps=r.rate_rps,
+                p99_ns=r.p99_ns,
+                mean_ns=r.mean_ns,
+                throughput_rps=r.throughput_rps,
+                violation_ratio=r.violation_ratio or 0.0,
+            )
+            for r in results
+            if r.tag == name
+        ]
         at_slo[name] = throughput_at_slo(points, SLO_NS) / 1e6
         curves[name] = [
             (p.rate_rps / 1e6, max(p.p99_ns / 1000.0, 0.1)) for p in points

@@ -12,16 +12,12 @@ violations vanishing around Bulk=16 and staying flat for periods up to
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
-from repro.experiments.common import (
-    ExperimentResult,
-    gentle_bursts,
-    run_once,
-    scaled,
-)
+from repro.experiments.common import ExperimentResult, gentle_bursts, scaled
+from repro.runner import PointSpec, ref, run_points
 from repro.workload.connections import ConnectionPool
 from repro.workload.service import Bimodal
 
@@ -34,48 +30,63 @@ BULKS = [8, 16, 24, 32, 40]
 PERIODS_NS = [10.0, 40.0, 100.0, 200.0, 400.0, 1000.0]
 
 
-def _run_config(
+def _ac_builder(sim, streams, bulk: int, period_ns: float,
+                runtime_enabled: bool = True):
+    config = AltocumulusConfig(
+        n_groups=N_GROUPS,
+        group_size=GROUP_SIZE,
+        variant="int",
+        period_ns=period_ns,
+        bulk=bulk,
+        concurrency=8,
+        slo_multiplier=L,
+        offered_load=LOAD,
+        runtime_enabled=runtime_enabled,
+    )
+    return AltocumulusSystem(sim, streams, config)
+
+
+def _violation_count(result, slo_ns: float) -> dict:
+    """Worker-side metrics hook: absolute SLO-violation count (the
+    paper's bars), computed before the request log is discarded."""
+    return {
+        "violations": sum(1 for r in result.requests if r.latency > slo_ns)
+    }
+
+
+def _config_spec(
     n_requests: int,
     seed: int,
     bulk: int,
     period_ns: float,
     runtime_enabled: bool = True,
-):
-    def builder(sim, streams):
-        config = AltocumulusConfig(
-            n_groups=N_GROUPS,
-            group_size=GROUP_SIZE,
-            variant="int",
-            period_ns=period_ns,
-            bulk=bulk,
-            concurrency=8,
-            slo_multiplier=L,
-            offered_load=LOAD,
-            runtime_enabled=runtime_enabled,
-        )
-        return AltocumulusSystem(sim, streams, config)
-
+    tag: str = "",
+) -> PointSpec:
     workers = N_GROUPS * (GROUP_SIZE - 1)
     rate = LOAD * workers / SERVICE.mean * 1e9
-    return run_once(
-        builder,
-        gentle_bursts(rate),
-        SERVICE,
+    slo_ns = L * SERVICE.mean
+    return PointSpec(
+        builder=ref(_ac_builder, bulk=bulk, period_ns=period_ns,
+                    runtime_enabled=runtime_enabled),
+        service=SERVICE,
+        rate_rps=rate,
         n_requests=n_requests,
         seed=seed,
-        connections=ConnectionPool.skewed(256, zipf_s=0.5),
+        arrivals=ref(gentle_bursts),
+        connections=ref(ConnectionPool.skewed, n_connections=256, zipf_s=0.5),
+        slo_ns=slo_ns,
+        metrics=ref(_violation_count, slo_ns=slo_ns),
+        tag=tag,
     )
 
 
-def _row(label: str, knob: object, result) -> List[object]:
-    slo_ns = L * SERVICE.mean
-    violations = sum(1 for r in result.requests if r.latency > slo_ns)
+def _row(label: str, knob: object, point) -> List[object]:
     return [
         label,
         knob,
-        violations,
-        result.latency.p99 / 1000.0,
-        result.extra.get("descriptors_received", 0.0),
+        point.metrics["violations"],
+        point.latency.p99 / 1000.0,
+        point.extra.get("descriptors_received", 0.0),
     ]
 
 
@@ -83,15 +94,24 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Regenerate Fig. 11 (Bulk/Period sensitivity)."""
     n_requests = scaled(120_000, scale)
     rows: List[List[object]] = []
-    baseline = _run_config(n_requests, seed, bulk=16, period_ns=200.0,
-                           runtime_enabled=False)
-    rows.append(_row("no_migration", "-", baseline))
-    for bulk in BULKS:
-        result = _run_config(n_requests, seed, bulk=bulk, period_ns=200.0)
-        rows.append(_row("bulk_sweep", bulk, result))
-    for period in PERIODS_NS:
-        result = _run_config(n_requests, seed, bulk=16, period_ns=period)
-        rows.append(_row("period_sweep", period, result))
+    labelled = [("no_migration", "-",
+                 _config_spec(n_requests, seed, bulk=16, period_ns=200.0,
+                              runtime_enabled=False, tag="no_migration"))]
+    labelled += [
+        ("bulk_sweep", bulk,
+         _config_spec(n_requests, seed, bulk=bulk, period_ns=200.0,
+                      tag=f"bulk={bulk}"))
+        for bulk in BULKS
+    ]
+    labelled += [
+        ("period_sweep", period,
+         _config_spec(n_requests, seed, bulk=16, period_ns=period,
+                      tag=f"period={period:.0f}ns"))
+        for period in PERIODS_NS
+    ]
+    results = run_points([spec for _, _, spec in labelled], label="fig11")
+    for (label, knob, _), point in zip(labelled, results):
+        rows.append(_row(label, knob, point))
     return ExperimentResult(
         exp_id="fig11",
         title="Migration Bulk/Period sensitivity (256 cores, 16x16 groups)",

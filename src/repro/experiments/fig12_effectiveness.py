@@ -24,10 +24,10 @@ from repro.experiments.common import (
     ExperimentResult,
     latency_throughput_curve,
     gentle_bursts,
-    run_once,
     scaled,
     throughput_at_slo,
 )
+from repro.runner import PointSpec, ref, run_points
 from repro.workload.connections import ConnectionPool
 from repro.workload.service import Bimodal
 
@@ -43,30 +43,33 @@ PERIODS_NS = [40.0, 200.0, 400.0, 1000.0]
 EFF_GROUPS, EFF_GROUP_SIZE, EFF_LOAD = 16, 16, 0.85
 
 
+def _split_builder(sim, streams, n_groups: int, group_size: int,
+                   variant: str):
+    config = AltocumulusConfig(
+        n_groups=n_groups,
+        group_size=group_size,
+        variant=variant,
+        period_ns=200.0,
+        bulk=16,
+        concurrency=min(8, max(1, n_groups - 1)),
+        slo_multiplier=L,
+        steering_policy="round_robin",
+    )
+    return AltocumulusSystem(sim, streams, config)
+
+
 def _group_size_rows(n_requests: int, seed: int) -> List[List[object]]:
     rows: List[List[object]] = []
     for variant in ("int", "rss"):
         for n_groups, group_size in GROUP_SPLITS:
-            def builder(sim, streams, n_groups=n_groups, group_size=group_size,
-                        variant=variant):
-                config = AltocumulusConfig(
-                    n_groups=n_groups,
-                    group_size=group_size,
-                    variant=variant,
-                    period_ns=200.0,
-                    bulk=16,
-                    concurrency=min(8, max(1, n_groups - 1)),
-                    slo_multiplier=L,
-                    steering_policy="round_robin",
-                )
-                return AltocumulusSystem(sim, streams, config)
-
+            builder = ref(_split_builder, n_groups=n_groups,
+                          group_size=group_size, variant=variant)
             workers = 64 - n_groups
             capacity = workers / SERVICE.mean * 1e9
             rates = [f * capacity for f in (0.5, 0.7, 0.8, 0.9, 0.95)]
             points = latency_throughput_curve(
                 builder, rates, SERVICE, n_requests=n_requests, slo_ns=SLO_NS,
-                seed=seed,
+                seed=seed, label=f"fig12:{variant}:{n_groups}x{group_size}",
             )
             best = throughput_at_slo(points, SLO_NS)
             rows.append(
@@ -81,45 +84,69 @@ def _group_size_rows(n_requests: int, seed: int) -> List[List[object]]:
     return rows
 
 
+def _eff_builder(sim, streams, period_ns: float):
+    config = AltocumulusConfig(
+        n_groups=EFF_GROUPS,
+        group_size=EFF_GROUP_SIZE,
+        variant="int",
+        period_ns=period_ns,
+        bulk=16,
+        concurrency=8,
+        slo_multiplier=L,
+        offered_load=EFF_LOAD,
+    )
+    return AltocumulusSystem(sim, streams, config)
+
+
+def _effectiveness_metrics(result, slo_ns: float) -> dict:
+    """Worker-side distillation: the Sec. VIII-D four-way migration
+    breakdown, computed from the stamped counterfactuals before the
+    request log is discarded."""
+    breakdown = classify_migrations(result.requests, slo_ns)
+    return {
+        "total": breakdown.total,
+        "eff": breakdown.counts[MigrationClass.EFF],
+        "ineff_no_harm": breakdown.counts[MigrationClass.INEFF_NO_HARM],
+        "ineff_no_benefit": breakdown.counts[MigrationClass.INEFF_NO_BENEFIT],
+        "false": breakdown.counts[MigrationClass.FALSE],
+    }
+
+
 def _effectiveness_rows(n_requests: int, seed: int) -> List[List[object]]:
     rows: List[List[object]] = []
     workers = EFF_GROUPS * (EFF_GROUP_SIZE - 1)
     rate = EFF_LOAD * workers / SERVICE.mean * 1e9
-    for period in PERIODS_NS:
-        def builder(sim, streams, period=period):
-            config = AltocumulusConfig(
-                n_groups=EFF_GROUPS,
-                group_size=EFF_GROUP_SIZE,
-                variant="int",
-                period_ns=period,
-                bulk=16,
-                concurrency=8,
-                slo_multiplier=L,
-                offered_load=EFF_LOAD,
-            )
-            return AltocumulusSystem(sim, streams, config)
-
-        # Strongly skewed steering: the replayed stream is dominated by
-        # at-risk requests (the paper replays the baseline's 400K
-        # SLO-violating RPCs), so the Eff/InEff split is meaningful.
-        result = run_once(
-            builder,
-            gentle_bursts(rate),
-            SERVICE,
+    # Strongly skewed steering: the replayed stream is dominated by
+    # at-risk requests (the paper replays the baseline's 400K
+    # SLO-violating RPCs), so the Eff/InEff split is meaningful.
+    # Identical seed per period => identical replayed workload.
+    specs = [
+        PointSpec(
+            builder=ref(_eff_builder, period_ns=period),
+            service=SERVICE,
+            rate_rps=rate,
             n_requests=n_requests,
-            seed=seed,  # identical seed => identical replayed workload
-            connections=ConnectionPool.skewed(128, zipf_s=1.0),
+            seed=seed,
+            arrivals=ref(gentle_bursts),
+            connections=ref(ConnectionPool.skewed, n_connections=128,
+                            zipf_s=1.0),
+            slo_ns=SLO_NS,
+            metrics=ref(_effectiveness_metrics, slo_ns=SLO_NS),
+            tag=f"period={period:.0f}ns",
         )
-        breakdown = classify_migrations(result.requests, SLO_NS)
+        for period in PERIODS_NS
+    ]
+    for period, point in zip(PERIODS_NS, run_points(specs, label="fig12bc")):
+        m = point.metrics
         rows.append(
             [
                 "effectiveness",
                 f"period={period:.0f}ns",
-                breakdown.total,
-                breakdown.counts[MigrationClass.EFF],
-                breakdown.counts[MigrationClass.INEFF_NO_HARM],
-                breakdown.counts[MigrationClass.INEFF_NO_BENEFIT],
-                breakdown.counts[MigrationClass.FALSE],
+                m["total"],
+                m["eff"],
+                m["ineff_no_harm"],
+                m["ineff_no_benefit"],
+                m["false"],
             ]
         )
     return rows

@@ -14,11 +14,17 @@
 (c) Prediction accuracy vs SLO target (5A / 10A / 20A, A = 850 ns,
     load 0.9) for the RSS baseline (threshold model evaluated passively)
     and the tuned AC_rss / AC_int systems.
+
+All panels batch their sweep points through :mod:`repro.runner`: the
+system (and, for realistic traffic, the MICA workload wiring) is built
+inside the worker from a parameterized module-level builder, and
+prediction accuracy is distilled by worker-side metrics hooks so request
+logs never cross the process boundary.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Dict, List, Tuple
 
 from repro.analysis.slo import prediction_accuracy
 from repro.core.config import AltocumulusConfig
@@ -26,16 +32,15 @@ from repro.core.scheduler import AltocumulusSystem
 from repro.experiments.common import (
     ExperimentResult,
     real_world_arrivals,
-    run_once,
     scaled,
 )
 from repro.hw.constants import DEFAULT_CONSTANTS
 from repro.hw.nic import PcieDelivery
 from repro.kvs import MicaServiceModel, MicaWorkload, build_dataset
+from repro.runner import PointSpec, ref, run_points
 from repro.schedulers.jbsq import nebula
 from repro.schedulers.rss import RssSystem
 from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
-from repro.workload.arrivals import PoissonArrivals
 from repro.workload.service import Fixed
 
 SERVICE_NS = 850.0
@@ -83,21 +88,6 @@ def _nebula_scaled(sim, streams, n_cores: int):
     return system
 
 
-def _builders(n_cores: int):
-    return {
-        "rss": lambda sim, streams: RssSystem(
-            sim, streams, n_cores, delivery=PcieDelivery()
-        ),
-        "nebula": lambda sim, streams: _nebula_scaled(sim, streams, n_cores),
-        "ac_int_subopt": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=False)
-        ),
-        "ac_int_opt": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True)
-        ),
-    }
-
-
 def _mica_workload(n_cores: int, seed: int, zipf_s: float = 0.9) -> MicaWorkload:
     n_groups = max(2, n_cores // 16)
     dataset = build_dataset(n_partitions=n_groups, n_keys=4_000, seed=seed)
@@ -111,103 +101,176 @@ def _mica_workload(n_cores: int, seed: int, zipf_s: float = 0.9) -> MicaWorkload
     )
 
 
-def _run_point(
-    builder: Callable,
+def _system_builder(
+    sim,
+    streams,
+    kind: str = "rss",
+    n_cores: int = 64,
+    tuned: bool = True,
+    variant: str = "int",
+    messaging: str = "hw",
+    realistic: bool = False,
+    seed: int = 1,
+    zipf_s: float = 0.9,
+):
+    """Build one Fig. 13 system; with ``realistic`` traffic the MICA
+    workload is constructed here (in the worker) and returned as a
+    ``(system, request_factory)`` pair for the executor to wire up."""
+    if kind == "rss":
+        system = RssSystem(sim, streams, n_cores, delivery=PcieDelivery())
+    elif kind == "rsspp":
+        # The elastic-RSS feature the paper folds into AC_rss_opt for
+        # the panel-(c) case study ([7]: 20 us re-mapping granularity).
+        system = RssPlusPlusSystem(
+            sim, streams, n_cores, delivery=PcieDelivery(),
+            rebalance_interval_ns=20_000.0,
+        )
+    elif kind == "nebula":
+        system = _nebula_scaled(sim, streams, n_cores)
+    elif kind == "ac":
+        system = AltocumulusSystem(
+            sim, streams,
+            _ac_config(n_cores, tuned=tuned, variant=variant,
+                       messaging=messaging),
+        )
+    else:
+        raise ValueError(f"unknown system kind {kind!r}")
+    if not realistic:
+        return system
+    workload = _mica_workload(n_cores, seed, zipf_s=zipf_s)
+    if isinstance(system, AltocumulusSystem):
+        system.execution_penalty = workload.execute
+    else:
+        system.completion_hooks.append(workload.execute)
+    return system, workload.request_factory
+
+
+def _accuracy_metrics(result, slo_ns: float) -> dict:
+    """Prediction accuracy for AC systems (empty otherwise), computed
+    next to the request log in the worker."""
+    if isinstance(result.system, AltocumulusSystem):
+        return {
+            "accuracy": prediction_accuracy(
+                result.requests, result.system.predicted_ids, slo_ns
+            )
+        }
+    return {}
+
+
+def _panel_c_metrics(result, slo_ns: float, multiplier: float) -> dict:
+    """Panel (c): accuracy + flagged share.  Non-AC systems evaluate
+    the naive static per-queue threshold (T = k*L+1, k=1) passively."""
+    if isinstance(result.system, AltocumulusSystem):
+        predicted = result.system.predicted_ids
+    else:
+        predicted = {
+            r.req_id
+            for r in result.requests
+            if (r.queue_len_at_arrival or 0) > multiplier + 1
+        }
+    accuracy = prediction_accuracy(result.requests, predicted, slo_ns)
+    flagged_share = len(predicted) / max(1, len(result.requests))
+    return {"accuracy": accuracy, "flagged_share": flagged_share}
+
+
+#: Panel (a) systems; values are kwargs of :func:`_system_builder`.
+_PANEL_A_SYSTEMS: List[Tuple[str, Dict[str, object]]] = [
+    ("rss", {"kind": "rss"}),
+    ("nebula", {"kind": "nebula"}),
+    ("ac_int_subopt", {"kind": "ac", "tuned": False}),
+    ("ac_int_opt", {"kind": "ac", "tuned": True}),
+]
+
+#: Panel (b) case-study systems (256 cores, real-world MICA traffic).
+_PANEL_B_SYSTEMS: List[Tuple[str, Dict[str, object]]] = [
+    ("rss", {"kind": "rss"}),
+    ("ac_int_rt", {"kind": "ac", "tuned": True, "messaging": "sw"}),
+    ("ac_int_rt_msg", {"kind": "ac", "tuned": True, "messaging": "hw"}),
+    ("ac_rss_syn", {"kind": "ac", "tuned": False, "variant": "rss"}),
+    ("ac_rss_rw", {"kind": "ac", "tuned": True, "variant": "rss"}),
+]
+
+#: Panel (c) systems (64 cores, SLO-target sweep).
+_PANEL_C_SYSTEMS: List[Tuple[str, Dict[str, object]]] = [
+    ("rss", {"kind": "rss"}),
+    ("rsspp", {"kind": "rsspp"}),
+    ("ac_rss_opt", {"kind": "ac", "tuned": True, "variant": "rss"}),
+    ("ac_int_opt", {"kind": "ac", "tuned": True}),
+]
+
+
+def _sweep_spec(
+    syskw: Dict[str, object],
+    n_cores: int,
     rate_rps: float,
     n_requests: int,
     seed: int,
     realistic: bool,
-    n_cores: int,
     zipf_s: float = 0.9,
-):
-    workload: Optional[MicaWorkload] = None
-    request_factory = None
-    if realistic:
-        workload = _mica_workload(n_cores, seed, zipf_s=zipf_s)
-        request_factory = workload.request_factory
-
-    def wired_builder(sim, streams):
-        system = builder(sim, streams)
-        if workload is not None:
-            if isinstance(system, AltocumulusSystem):
-                system.execution_penalty = workload.execute
-            else:
-                system.completion_hooks.append(workload.execute)
-        return system
-
-    arrivals = (
-        real_world_arrivals(rate_rps) if realistic else PoissonArrivals(rate_rps)
-    )
-    return run_once(
-        wired_builder,
-        arrivals,
-        Fixed(SERVICE_NS),
+    metrics=None,
+    tag: str = "",
+) -> PointSpec:
+    return PointSpec(
+        builder=ref(_system_builder, n_cores=n_cores, realistic=realistic,
+                    seed=seed, zipf_s=zipf_s, **syskw),
+        service=Fixed(SERVICE_NS),
+        rate_rps=rate_rps,
         n_requests=n_requests,
         seed=seed,
-        request_factory=request_factory,
+        arrivals=ref(real_world_arrivals) if realistic else None,
+        slo_ns=SLO_NS,
+        metrics=metrics,
+        tag=tag,
     )
 
 
-def _throughput_at_slo(
-    builder: Callable, n_cores: int, n_requests: int, seed: int, realistic: bool
-):
-    """Sweep rate fractions; return (best MRPS, accuracy at best point)."""
-    capacity = n_cores / SERVICE_NS * 1e9
+def _best_at_slo(fractions_and_points) -> Tuple[float, object]:
+    """(best rate, accuracy at best point) across one system's sweep."""
     best = 0.0
     accuracy = None
-    for fraction in RATE_FRACTIONS:
-        rate = fraction * capacity
-        result = _run_point(builder, rate, n_requests, seed, realistic, n_cores)
-        if result.latency.p99 <= SLO_NS and rate > best:
+    for rate, point in fractions_and_points:
+        if point.latency.p99 <= SLO_NS and rate > best:
             best = rate
-            if isinstance(result.system, AltocumulusSystem):
-                accuracy = prediction_accuracy(
-                    result.requests, result.system.predicted_ids, SLO_NS
-                )
-    return best / 1e6, accuracy
+            accuracy = point.metrics.get("accuracy")
+    return best, accuracy
 
 
-def _panel_a(n_requests: int, seed: int) -> List[List[object]]:
-    rows: List[List[object]] = []
+def _panels_ab(n_requests: int, seed: int) -> List[List[object]]:
+    # (panel, pattern, n_cores, name) per sweep; each sweeps RATE_FRACTIONS.
+    sweeps: List[Tuple[str, str, int, str, Dict[str, object]]] = []
     for realistic in (False, True):
         pattern = "real_world" if realistic else "poisson_fixed850"
         for n_cores in CORE_COUNTS:
-            for name, builder in _builders(n_cores).items():
-                mrps, accuracy = _throughput_at_slo(
-                    builder, n_cores, n_requests, seed, realistic
-                )
-                rows.append(
-                    ["a", pattern, n_cores, name, mrps,
-                     accuracy if accuracy is not None else ""]
-                )
-    return rows
+            for name, syskw in _PANEL_A_SYSTEMS:
+                sweeps.append(("a", pattern, n_cores, name, syskw))
+    for name, syskw in _PANEL_B_SYSTEMS:
+        sweeps.append(("b", "case_study", 256, name, syskw))
 
+    specs: List[PointSpec] = []
+    for panel, pattern, n_cores, name, syskw in sweeps:
+        capacity = n_cores / SERVICE_NS * 1e9
+        realistic = pattern != "poisson_fixed850"
+        for fraction in RATE_FRACTIONS:
+            specs.append(
+                _sweep_spec(
+                    syskw, n_cores, fraction * capacity, n_requests, seed,
+                    realistic, metrics=ref(_accuracy_metrics, slo_ns=SLO_NS),
+                    tag=f"{panel}:{pattern}:{n_cores}:{name}",
+                )
+            )
+    results = run_points(specs, label="fig13ab")
 
-def _panel_b(n_requests: int, seed: int) -> List[List[object]]:
-    n_cores = 256
-    configs = {
-        "rss": lambda sim, streams: RssSystem(
-            sim, streams, n_cores, delivery=PcieDelivery()
-        ),
-        "ac_int_rt": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True, messaging="sw")
-        ),
-        "ac_int_rt_msg": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True, messaging="hw")
-        ),
-        "ac_rss_syn": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=False, variant="rss")
-        ),
-        "ac_rss_rw": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True, variant="rss")
-        ),
-    }
     rows: List[List[object]] = []
-    for name, builder in configs.items():
-        mrps, accuracy = _throughput_at_slo(
-            builder, n_cores, n_requests, seed, realistic=True
+    cursor = 0
+    for panel, pattern, n_cores, name, _syskw in sweeps:
+        capacity = n_cores / SERVICE_NS * 1e9
+        chunk = results[cursor:cursor + len(RATE_FRACTIONS)]
+        cursor += len(RATE_FRACTIONS)
+        best, accuracy = _best_at_slo(
+            (fraction * capacity, point)
+            for fraction, point in zip(RATE_FRACTIONS, chunk)
         )
-        rows.append(["b", "case_study", n_cores, name, mrps,
+        rows.append([panel, pattern, n_cores, name, best / 1e6,
                      accuracy if accuracy is not None else ""])
     return rows
 
@@ -216,58 +279,40 @@ def _panel_c(n_requests: int, seed: int) -> List[List[object]]:
     n_cores = 64
     load = 0.9
     rate = load * n_cores / SERVICE_NS * 1e9
-    configs = {
-        "rss": lambda sim, streams: RssSystem(
-            sim, streams, n_cores, delivery=PcieDelivery()
-        ),
-        # The elastic-RSS feature the paper folds into AC_rss_opt for
-        # this case study ([7]: 20 us re-mapping granularity).
-        "rsspp": lambda sim, streams: RssPlusPlusSystem(
-            sim, streams, n_cores, delivery=PcieDelivery(),
-            rebalance_interval_ns=20_000.0,
-        ),
-        "ac_rss_opt": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True, variant="rss")
-        ),
-        "ac_int_opt": lambda sim, streams: AltocumulusSystem(
-            sim, streams, _ac_config(n_cores, tuned=True)
-        ),
-    }
+    cells: List[Tuple[float, str]] = [
+        (multiplier, name)
+        for multiplier in (5.0, 10.0, 20.0)
+        for name, _syskw in _PANEL_C_SYSTEMS
+    ]
+    by_name = dict(_PANEL_C_SYSTEMS)
+    specs = [
+        # Mild key skew: violations here should come from bursts the
+        # threshold must anticipate, not from a permanently overloaded
+        # hot partition (which would let any predictor look perfect).
+        _sweep_spec(
+            by_name[name], n_cores, rate, n_requests, seed,
+            realistic=True, zipf_s=0.3,
+            metrics=ref(_panel_c_metrics, slo_ns=multiplier * SERVICE_NS,
+                        multiplier=multiplier),
+            tag=f"c:slo={multiplier:.0f}A:{name}",
+        )
+        for multiplier, name in cells
+    ]
     rows: List[List[object]] = []
-    for multiplier in (5.0, 10.0, 20.0):
-        slo_ns = multiplier * SERVICE_NS
-        for name, builder in configs.items():
-            # Mild key skew: violations here should come from bursts the
-            # threshold must anticipate, not from a permanently
-            # overloaded hot partition (which would let any predictor
-            # look perfect).
-            result = _run_point(builder, rate, n_requests, seed,
-                                realistic=True, n_cores=n_cores, zipf_s=0.3)
-            if isinstance(result.system, AltocumulusSystem):
-                predicted = result.system.predicted_ids
-            else:
-                # Passive evaluation of the naive static per-queue
-                # threshold (T = k*L+1 with k=1) on the RSS baseline.
-                predicted = {
-                    r.req_id
-                    for r in result.requests
-                    if (r.queue_len_at_arrival or 0) > multiplier + 1
-                }
-            accuracy = prediction_accuracy(result.requests, predicted, slo_ns)
-            flagged_share = len(predicted) / max(1, len(result.requests))
-            rows.append(
-                ["c", f"slo={multiplier:.0f}A", n_cores, name, accuracy,
-                 round(flagged_share, 3)]
-            )
+    for (multiplier, name), point in zip(cells,
+                                         run_points(specs, label="fig13c")):
+        rows.append(
+            ["c", f"slo={multiplier:.0f}A", n_cores, name,
+             point.metrics["accuracy"],
+             round(point.metrics["flagged_share"], 3)]
+        )
     return rows
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     """Regenerate Fig. 13 (MICA scaling, case studies, SLO sweep)."""
     n_requests = scaled(40_000, scale)
-    rows = _panel_a(n_requests, seed) + _panel_b(n_requests, seed) + _panel_c(
-        n_requests, seed
-    )
+    rows = _panels_ab(n_requests, seed) + _panel_c(n_requests, seed)
     return ExperimentResult(
         exp_id="fig13",
         title="MICA scalability, case studies, SLO-target sensitivity",

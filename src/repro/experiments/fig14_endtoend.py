@@ -16,18 +16,18 @@ stretches the MSR runtime's effective migration cadence.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.experiments.common import (
     ExperimentResult,
     real_world_arrivals,
-    run_once,
     scaled,
 )
 from repro.hw.constants import DEFAULT_CONSTANTS
 from repro.kvs import MicaServiceModel, MicaWorkload, build_dataset
+from repro.runner import PointSpec, ref, run_points
 from repro.schedulers.jbsq import nebula
 from repro.workload.service import Fixed
 
@@ -61,8 +61,29 @@ def _mean_service_ns() -> float:
                                             scan_fraction=SCAN_FRACTION)
 
 
-def _ac_builder(interface: str, runtime: bool = True) -> Callable:
-    def builder(sim, streams):
+#: system name -> (Altocumulus interface, runtime enabled); ``None``
+#: entries are the Nebula baseline.
+_SYSTEMS: List[Tuple[str, object]] = [
+    # Nebula has no partition-core affinity, so under EREW every
+    # request pays one remote access to its owner partition.
+    ("nebula", None),
+    ("ac_rss_isa", ("isa", True)),
+    ("ac_rss_msr", ("msr", True)),
+    # The pre-runtime baseline of Fig. 14: the same RSS-fed groups
+    # with prediction/migration switched off.
+    ("ac_rss_norun", ("isa", False)),
+]
+
+
+def _wired_builder(sim, streams, system: str, seed: int):
+    """Build one Fig. 14 system with its MICA workload wired in; the
+    workload is constructed here (in the worker, deterministically from
+    ``seed``) and handed back as ``(system, request_factory)``."""
+    wiring = dict(_SYSTEMS)[system]
+    if wiring is None:
+        sys_obj = _nebula_erew(sim, streams)
+    else:
+        interface, runtime = wiring
         config = AltocumulusConfig(
             n_groups=N_GROUPS,
             group_size=N_CORES // N_GROUPS,
@@ -75,9 +96,20 @@ def _ac_builder(interface: str, runtime: bool = True) -> Callable:
             slo_multiplier=10.0,
             runtime_enabled=runtime,
         )
-        return AltocumulusSystem(sim, streams, config)
-
-    return builder
+        sys_obj = AltocumulusSystem(sim, streams, config)
+    workload = MicaWorkload(
+        build_dataset(n_partitions=N_GROUPS, n_keys=4_000, seed=seed),
+        _service_model(),
+        n_groups=N_GROUPS,
+        scan_fraction=SCAN_FRACTION,
+        zipf_s=0.9,
+        seed=seed,
+    )
+    if isinstance(sys_obj, AltocumulusSystem):
+        sys_obj.execution_penalty = workload.execute
+    else:
+        sys_obj.completion_hooks.append(workload.execute)
+    return sys_obj, workload.request_factory
 
 
 def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
@@ -85,59 +117,37 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     n_requests = scaled(80_000, scale)
     mean_ns = _mean_service_ns()
     slo_ns = 10.0 * mean_ns
-    systems: Dict[str, Callable] = {
-        # Nebula has no partition-core affinity, so under EREW every
-        # request pays one remote access to its owner partition.
-        "nebula": lambda sim, streams: _nebula_erew(sim, streams),
-        "ac_rss_isa": _ac_builder("isa"),
-        "ac_rss_msr": _ac_builder("msr"),
-        # The pre-runtime baseline of Fig. 14: the same RSS-fed groups
-        # with prediction/migration switched off.
-        "ac_rss_norun": _ac_builder("isa", runtime=False),
-    }
+    cells = [(name, mrps) for name, _ in _SYSTEMS for mrps in RATES_MRPS]
+    specs = [
+        PointSpec(
+            builder=ref(_wired_builder, system=name, seed=seed),
+            service=Fixed(mean_ns),  # overridden per request by the factory
+            rate_rps=mrps * 1e6,
+            n_requests=n_requests,
+            seed=seed,
+            arrivals=ref(real_world_arrivals),
+            slo_ns=slo_ns,
+            tag=f"{name}@{mrps:.0f}M",
+        )
+        for name, mrps in cells
+    ]
     rows: List[List[object]] = []
     at_slo: Dict[str, float] = {}
-    for name, builder in systems.items():
-        best = 0.0
-        for mrps in RATES_MRPS:
-            workload = MicaWorkload(
-                build_dataset(n_partitions=N_GROUPS, n_keys=4_000, seed=seed),
-                _service_model(),
-                n_groups=N_GROUPS,
-                scan_fraction=SCAN_FRACTION,
-                zipf_s=0.9,
-                seed=seed,
-            )
-
-            def wired(sim, streams, builder=builder, workload=workload):
-                system = builder(sim, streams)
-                if isinstance(system, AltocumulusSystem):
-                    system.execution_penalty = workload.execute
-                else:
-                    system.completion_hooks.append(workload.execute)
-                return system
-
-            result = run_once(
-                wired,
-                real_world_arrivals(mrps * 1e6),
-                Fixed(mean_ns),  # overridden per request by the factory
-                n_requests=n_requests,
-                seed=seed,
-                request_factory=workload.request_factory,
-            )
-            p99 = result.latency.p99
-            rows.append(
-                [
-                    name,
-                    mrps,
-                    p99 / 1000.0,
-                    result.violation_ratio(slo_ns),
-                    result.throughput_rps / 1e6,
-                ]
-            )
-            if p99 <= slo_ns and mrps > best:
-                best = mrps
-        at_slo[name] = best
+    for (name, mrps), point in zip(cells, run_points(specs, label="fig14")):
+        p99 = point.latency.p99
+        rows.append(
+            [
+                name,
+                mrps,
+                p99 / 1000.0,
+                point.violation_ratio,
+                point.throughput_rps / 1e6,
+            ]
+        )
+        if p99 <= slo_ns and mrps > at_slo.get(name, 0.0):
+            at_slo[name] = mrps
+        else:
+            at_slo.setdefault(name, 0.0)
     notes = [
         f"SLO = 10 x mean service ({mean_ns:.0f} ns) = {slo_ns / 1000:.2f} us p99.",
         "throughput@SLO (MRPS): "

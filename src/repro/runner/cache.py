@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache of sweep-point results.
+
+Every executed :class:`~repro.runner.spec.PointSpec` is stored under the
+hex fingerprint of its content (spec + package version + schema
+version), giving three properties the orchestration layer relies on:
+
+* **instant replays** -- rerunning an identical sweep is pure lookup;
+* **crash resume** -- results are persisted as each point completes, so
+  an interrupted sweep resumes from where it died;
+* **incremental re-runs** -- changing one system variant or one rate
+  only recomputes the points whose fingerprints changed.
+
+The cache is a plain directory tree (``<dir>/<key[:2]>/<key>.pkl``), so
+wiping it is ``rm -rf`` and inspecting it needs no tooling.  Writes are
+atomic (temp file + ``os.replace``), which keeps concurrent sweeps
+sharing one cache safe: the worst case is double computation, never a
+torn read.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Iterator, Optional
+
+_ENV_CACHE_DIR = "ALTOCUMULUS_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root: ``$ALTOCUMULUS_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/altocumulus``, else ``~/.cache/altocumulus``."""
+    env = os.environ.get(_ENV_CACHE_DIR)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return os.path.join(xdg, "altocumulus")
+    return os.path.join(os.path.expanduser("~"), ".cache", "altocumulus")
+
+
+class ResultCache:
+    """Pickle-per-key result store addressed by spec fingerprint."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+        if os.path.exists(self.directory) and not os.path.isdir(self.directory):
+            raise NotADirectoryError(
+                f"cache path {self.directory!r} exists but is not a directory"
+            )
+
+    def path_for(self, key: str) -> str:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return os.path.join(self.directory, key[:2], f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored payload, or ``None`` on a miss.
+
+        A corrupt or unreadable entry (killed writer on a non-atomic
+        filesystem, version skew in pickled classes) is treated as a
+        miss and removed, so the sweep recomputes it.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, OSError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, payload: Any) -> str:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all stored fingerprints."""
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl") and not name.startswith(".tmp-"):
+                    yield name[: -len(".pkl")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                os.remove(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,92 @@
+"""Live progress reporting for sweep execution.
+
+The runner invokes a single hook -- ``hook(progress: SweepProgress)`` --
+once per completed point and once at the end.  :class:`ProgressPrinter`
+is the stderr implementation the CLI installs; anything callable with
+the same signature (a logger, a TUI, a test probe) can be substituted.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO, Optional
+
+
+@dataclass
+class SweepProgress:
+    """A snapshot of one sweep's execution state."""
+
+    label: str
+    total: int
+    done: int
+    cache_hits: int
+    elapsed_s: float
+    finished: bool = False
+
+    @property
+    def executed(self) -> int:
+        return self.done - self.cache_hits
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Naive remaining-time estimate from executed-point throughput.
+
+        Cache hits are excluded from the rate (they are effectively
+        free), so a warm-cache sweep reports an ETA near zero.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if self.executed <= 0 or self.elapsed_s <= 0:
+            return None
+        return remaining * (self.elapsed_s / self.executed)
+
+
+class ProgressPrinter:
+    """Render sweep progress as a single rewritten stderr line.
+
+    On non-TTY streams (CI logs, pipes) carriage returns would smear
+    into noise, so only the final summary line is emitted there.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        min_interval_s: float = 0.1,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._last_emit = 0.0
+        self._wrote_line = False
+
+    def _render(self, p: SweepProgress) -> str:
+        parts = [f"[{p.label}] {p.done}/{p.total} points"]
+        if p.cache_hits:
+            parts.append(f"{p.cache_hits} cached")
+        parts.append(f"{p.elapsed_s:.1f}s elapsed")
+        if not p.finished:
+            eta = p.eta_s
+            if eta is not None:
+                parts.append(f"eta {eta:.1f}s")
+        return ", ".join(parts)
+
+    def __call__(self, p: SweepProgress) -> None:
+        interactive = bool(getattr(self.stream, "isatty", lambda: False)())
+        now = time.monotonic()
+        if p.finished:
+            if interactive and self._wrote_line:
+                self.stream.write("\r\x1b[K")
+            self.stream.write(self._render(p) + "\n")
+            self.stream.flush()
+            self._wrote_line = False
+            return
+        if not interactive:
+            return
+        if now - self._last_emit < self.min_interval_s and p.done < p.total:
+            return
+        self._last_emit = now
+        self.stream.write("\r\x1b[K" + self._render(p))
+        self.stream.flush()
+        self._wrote_line = True

@@ -125,29 +125,46 @@ class Simulator:
         ``max_events`` callbacks have executed.
 
         ``until`` is inclusive: an event scheduled exactly at ``until``
-        still fires.  After returning because of ``until``, the clock is
-        advanced to ``until`` so periodic processes observe a consistent
-        end time.
+        still fires.
+
+        Clock-advance contract: the clock is clamped forward to ``until``
+        only when every event at or before ``until`` actually ran -- the
+        heap drained, or the next pending event lies beyond ``until`` --
+        so periodic processes observe a consistent end time.  When the
+        run is cut short, by :meth:`stop` or by the ``max_events``
+        budget, the clock stays at the last executed event: pending work
+        at or before ``until`` has *not* happened, and pretending time
+        passed it would let callers mistake a truncated run for a
+        completed one.  ``max_events`` takes precedence when the budget
+        is exhausted exactly as the heap drains.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
         executed = 0
+        limit_hit = False
         try:
             while self._heap and not self._stopped:
                 if max_events is not None and executed >= max_events:
-                    return
+                    limit_hit = True
+                    break
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and head.time > until:
-                    self.now = max(self.now, until)
-                    return
+                    break
                 self.step()
                 executed += 1
-            if until is not None and not self._stopped:
+            else:
+                # Loop fell through: drained or stopped.  A drained heap
+                # still counts as limit-exhausted when the last executed
+                # event spent the budget.
+                limit_hit = (
+                    max_events is not None and executed >= max_events
+                )
+            if until is not None and not self._stopped and not limit_hit:
                 self.now = max(self.now, until)
         finally:
             self._running = False

@@ -88,6 +88,28 @@ class TestCli:
         assert (tmp_path / "tab1.txt").exists()
         assert "Altocumulus" in capsys.readouterr().out
 
+    def test_unknown_experiment_exits_nonzero_and_lists_ids(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig99"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing ran
+        assert "unknown experiment 'fig99'" in captured.err
+        for exp_id in list_experiments():
+            assert exp_id in captured.err
+
+    def test_unknown_experiment_is_caught_before_any_run(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        assert main(["fig99", "--out", str(tmp_path)]) == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_negative_jobs_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["tab1", "--jobs", "-2"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
 
 class TestJsonOutput:
     def test_to_json_round_trips(self):

@@ -86,3 +86,37 @@ class TestResult:
             exp_id="x", title="t", headers=["a"], rows=[[1]], notes="hello"
         )
         assert "hello" in result.table()
+
+    def test_to_json_is_strict_json_with_non_finite_floats(self):
+        # Regression: rows with NaN/inf used to serialize as the bare
+        # ``NaN``/``Infinity`` literals, which strict JSON parsers (and
+        # therefore every downstream plotting pipeline) reject.
+        import json
+        import math
+
+        result = ExperimentResult(
+            exp_id="x",
+            title="t",
+            headers=["a", "b", "c"],
+            rows=[[float("nan"), float("inf"), float("-inf")], [1.5, 2, "ok"]],
+            series={"curve": [float("inf"), 0.25], "t_lower": float("nan")},
+        )
+        payload = json.loads(result.to_json())  # strict by default
+        assert payload["rows"][0] == [None, "inf", "-inf"]
+        assert payload["rows"][1] == [1.5, 2, "ok"]
+        assert payload["series"]["curve"] == ["inf", 0.25]
+        assert payload["series"]["t_lower"] is None
+        # Finite values survive untouched.
+        assert math.isclose(payload["rows"][1][0], 1.5)
+
+    def test_to_json_stringifies_unserializable_objects(self):
+        import json
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a"], rows=[[Opaque()]]
+        )
+        assert json.loads(result.to_json())["rows"][0] == ["<opaque>"]

@@ -148,6 +148,117 @@ class TestRunControl:
         assert hits == [1]
 
 
+class TestEdgeCases:
+    """Regression territory: cancellation after firing, stop() from
+    inside callbacks, FIFO tie-breaking under mutation, and the
+    until/max_events clock-advance contract."""
+
+    def test_cancel_fired_event_leaves_future_events_alone(self, sim):
+        hits = []
+        fired = sim.schedule(1.0, hits.append, "first")
+        sim.run()
+        sim.cancel(fired)  # harmless no-op on an already-fired event
+        sim.schedule(1.0, hits.append, "second")
+        sim.run()
+        assert hits == ["first", "second"]
+        assert sim.events_processed == 2
+
+    def test_cancel_fired_event_does_not_cancel_reused_slot(self, sim):
+        # Cancelling a fired event must only flag THAT event object,
+        # never a later event that happens to share time/seq patterns.
+        first = sim.schedule(5.0, lambda: None)
+        sim.run()
+        later = sim.schedule(5.0, lambda: None)
+        sim.cancel(first)
+        assert later.cancelled is False
+
+    def test_stop_inside_callback_skips_same_time_events(self, sim):
+        hits = []
+
+        def stopper():
+            hits.append("stopper")
+            sim.stop()
+
+        sim.schedule(10.0, stopper)
+        sim.schedule(10.0, hits.append, "same-time")
+        sim.schedule(11.0, hits.append, "later")
+        sim.run()
+        assert hits == ["stopper"]
+        assert sim.now == 10.0
+        sim.run()  # a fresh run resumes with the remaining events
+        assert hits == ["stopper", "same-time", "later"]
+
+    def test_stop_inside_callback_does_not_clamp_to_until(self, sim):
+        # stop() means "the run was cut short": pending work before
+        # `until` has not happened, so the clock must not pretend it has.
+        sim.schedule(10.0, sim.stop)
+        sim.schedule(20.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 10.0
+
+    def test_fifo_ties_survive_interleaved_cancellation(self, sim):
+        hits = []
+        sim.schedule(10.0, hits.append, "a")
+        b = sim.schedule(10.0, hits.append, "b")
+        sim.schedule(10.0, hits.append, "c")
+        sim.cancel(b)
+        sim.run()
+        assert hits == ["a", "c"]
+
+    def test_callback_scheduling_now_runs_after_existing_ties(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, "injected")
+
+        sim.schedule(10.0, first)
+        sim.schedule(10.0, order.append, "second")
+        sim.run()
+        # The injected same-time event got a later sequence number, so
+        # it fires after every event scheduled before it.
+        assert order == ["first", "second", "injected"]
+
+    def test_max_events_exhaustion_does_not_clamp_to_until(self, sim):
+        hits = []
+        for i in range(5):
+            sim.schedule(float(i + 1), hits.append, i)
+        sim.run(until=100.0, max_events=2)
+        assert hits == [0, 1]
+        assert sim.now == 2.0  # not 100.0: three events never ran
+
+    def test_until_clamps_when_budget_not_exhausted(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=50.0, max_events=10)
+        assert sim.now == 50.0
+
+    def test_max_events_takes_precedence_on_simultaneous_drain(self, sim):
+        # Budget exhausted by the exact event that drains the heap: the
+        # run counts as truncated, so no clamp to `until`.
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=50.0, max_events=2)
+        assert sim.now == 2.0
+
+    def test_run_resumes_cleanly_after_max_events(self, sim):
+        hits = []
+        for i in range(4):
+            sim.schedule(float(i + 1), hits.append, i)
+        sim.run(max_events=2)
+        sim.run(until=100.0)
+        assert hits == [0, 1, 2, 3]
+        assert sim.now == 100.0
+
+    def test_cancelled_events_do_not_consume_max_events_budget(self, sim):
+        hits = []
+        doomed = [sim.schedule(1.0, hits.append, f"dead{i}") for i in range(3)]
+        for event in doomed:
+            sim.cancel(event)
+        sim.schedule(2.0, hits.append, "alive")
+        sim.run(max_events=1)
+        assert hits == ["alive"]
+
+
 class TestIntrospection:
     def test_events_processed_counts(self, sim):
         for i in range(5):
