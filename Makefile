@@ -10,8 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+## Run the perf microbenchmarks and record the results in a
+## timestamped BENCH_<stamp>.json (pytest-benchmark JSON format; see
+## docs/performance.md for how to read and compare them).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 
 ## Full-scale regeneration of every paper artifact (30-45 min).
 artifacts:

@@ -39,3 +39,137 @@ def test_full_system_simulation_rate(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.latency.count > 0
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks for the individually optimized fast paths.  Each one
+# isolates a hot path reworked by the kernel overhaul (free-list events,
+# timer reuse, lazy-cancel compaction, memoized threshold math, ndarray
+# latency accumulation, batched RNG prefetch, single-sort planning) so a
+# regression in any of them is attributable from the benchmark history
+# alone.
+# ----------------------------------------------------------------------
+
+
+def test_timer_reuse_throughput(benchmark):
+    """Re-arming one Event via ``schedule_timer`` (the periodic-tick
+    path) instead of allocating a fresh event per fire."""
+
+    def spin():
+        sim = Simulator()
+        state = {"event": None, "remaining": 20_000}
+
+        def tick():
+            if state["remaining"]:
+                state["remaining"] -= 1
+                state["event"] = sim.schedule_timer(1.0, tick, event=state["event"])
+
+        tick()
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(spin)
+    assert events == 20_000
+
+
+def test_cancel_heavy_throughput(benchmark):
+    """Schedule/cancel churn: most events die before firing, exercising
+    lazy cancellation and dead-entry compaction."""
+
+    def spin():
+        sim = Simulator()
+        fired = [0]
+
+        def noop():
+            fired[0] += 1
+
+        for round_start in range(0, 20_000, 20):
+            events = [sim.schedule(float(round_start + i), noop) for i in range(20)]
+            for ev in events[1:]:  # keep 1 in 20
+                sim.cancel(ev)
+        sim.run()
+        return fired[0]
+
+    fired = benchmark(spin)
+    assert fired == 1_000
+
+
+def test_threshold_math_rate(benchmark):
+    """Erlang-C / queue-length math under the tick loop's access pattern
+    (a small working set of recurring (k, load) keys)."""
+    from repro.core.prediction import erlang_c, expected_queue_length
+
+    loads = [0.5 + 7.0 * (i % 97) / 96.0 for i in range(200)]
+
+    def spin():
+        acc = 0.0
+        for _ in range(25):
+            for load in loads:
+                acc += erlang_c(8, load) + expected_queue_length(8, load)
+        return acc
+
+    result = benchmark(spin)
+    assert result > 0
+
+
+def test_latency_summary_rate(benchmark):
+    """Percentile summary over a large completed-request population
+    (ndarray accumulation instead of per-request Python lists)."""
+    from repro.analysis.metrics import summarize_latencies
+    from repro.workload.request import Request
+
+    requests = [
+        Request(req_id=i, arrival=float(i), service_time=100.0)
+        for i in range(50_000)
+    ]
+    for r in requests:
+        r.finished = r.arrival + 100.0 + (r.req_id % 977)
+
+    summary = benchmark(summarize_latencies, requests)
+    assert summary.count == 50_000
+
+
+def test_workload_generation_rate(benchmark):
+    """Open-loop generator throughput (batched RNG prefetch path)."""
+    from repro.sim.rng import RandomStreams
+    from repro.workload.arrivals import PoissonArrivals
+    from repro.workload.generator import LoadGenerator
+    from repro.workload.service import Exponential
+
+    def spin():
+        sim = Simulator()
+        gen = LoadGenerator(
+            sim=sim,
+            streams=RandomStreams(99),
+            arrivals=PoissonArrivals(20e6),
+            service=Exponential(1000.0),
+            sink=lambda req: None,
+            n_requests=20_000,
+        )
+        gen.start()
+        sim.run()
+        return gen.emitted
+
+    emitted = benchmark(spin)
+    assert emitted == 20_000
+
+
+def test_migration_plan_rate(benchmark):
+    """Per-tick pattern classification + destination planning (single
+    ranking sort shared by both)."""
+    from repro.core.patterns import migration_plan
+
+    vectors = [
+        [(i * 7 + j * 13) % 40 for j in range(8)] for i in range(100)
+    ]
+
+    def spin():
+        total = 0
+        for q in vectors:
+            for self_index in range(8):
+                total += migration_plan(q, self_index, bulk=16, concurrency=2,
+                                        threshold=24.0).migrates
+        return total
+
+    migrates = benchmark(spin)
+    assert migrates >= 0

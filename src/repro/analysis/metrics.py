@@ -9,7 +9,7 @@ the tail is what matters).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -45,9 +45,19 @@ class LatencySummary:
 
 
 def latencies_of(requests: Iterable[Request]) -> np.ndarray:
-    """Latency array (ns) over completed, non-dropped requests."""
-    return np.array(
-        [r.latency for r in requests if r.completed and not r.dropped], dtype=float
+    """Latency array (ns) over completed, non-dropped requests.
+
+    Accumulates straight into an ndarray (``np.fromiter``) instead of
+    materializing an intermediate per-request Python list -- measurably
+    cheaper at sweep scale, value-identical.
+    """
+    return np.fromiter(
+        (
+            r.finished - r.arrival
+            for r in requests
+            if r.finished is not None and not r.dropped
+        ),
+        dtype=float,
     )
 
 
@@ -56,13 +66,16 @@ def summarize_latencies(requests: Sequence[Request]) -> LatencySummary:
     lat = latencies_of(requests)
     if lat.size == 0:
         return LatencySummary.empty()
+    # One vectorized percentile call over all quantiles: identical values
+    # to per-quantile calls, one sort instead of four.
+    p50, p90, p99, p999 = np.percentile(lat, (50, 90, 99, 99.9))
     return LatencySummary(
         count=int(lat.size),
         mean=float(lat.mean()),
-        p50=float(np.percentile(lat, 50)),
-        p90=float(np.percentile(lat, 90)),
-        p99=float(np.percentile(lat, 99)),
-        p999=float(np.percentile(lat, 99.9)),
+        p50=float(p50),
+        p90=float(p90),
+        p99=float(p99),
+        p999=float(p999),
         maximum=float(lat.max()),
     )
 
@@ -79,11 +92,18 @@ def percentile(requests: Sequence[Request], q: float) -> float:
 
 def achieved_throughput_rps(requests: Sequence[Request]) -> float:
     """Completed requests per second over the span of the run."""
-    done: List[Request] = [r for r in requests if r.completed]
-    if len(done) < 2:
+    count = 0
+    start = float("inf")
+    end = float("-inf")
+    for r in requests:
+        finished = r.finished
+        if finished is None:
+            continue
+        count += 1
+        if r.arrival < start:
+            start = r.arrival
+        if finished > end:
+            end = finished
+    if count < 2 or end <= start:
         return 0.0
-    start = min(r.arrival for r in done)
-    end = max(r.finished for r in done)  # type: ignore[type-var]
-    if end <= start:
-        return 0.0
-    return len(done) / (end - start) * 1e9
+    return count / (end - start) * 1e9

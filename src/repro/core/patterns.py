@@ -55,9 +55,19 @@ def classify_pattern(q: Sequence[int], bulk: int) -> Pattern:
         raise ValueError(f"bulk must be positive, got {bulk}")
     if len(q) < 2:
         return Pattern.BALANCED
-    ordered = sorted(q, reverse=True)
-    longest, second_longest = ordered[0], ordered[1]
-    shortest, second_shortest = ordered[-1], ordered[-2]
+    return _classify_ranked(q, _ranked(q), bulk)
+
+
+def _classify_ranked(q: Sequence[int], ranked: Sequence[int], bulk: int) -> Pattern:
+    """Classification given the longest-first index ranking.
+
+    Split out so :func:`migration_plan` can classify from the ranking it
+    already computed instead of sorting the vector a second time.
+    ``q[ranked[i]]`` *is* ``sorted(q, reverse=True)[i]``, so the result
+    is identical to :func:`classify_pattern`.
+    """
+    longest, second_longest = q[ranked[0]], q[ranked[1]]
+    shortest, second_shortest = q[ranked[-1]], q[ranked[-2]]
     if longest - second_longest > bulk:
         return Pattern.HILL
     if second_shortest - shortest > bulk:
@@ -70,7 +80,10 @@ def classify_pattern(q: Sequence[int], bulk: int) -> Pattern:
 def _ranked(q: Sequence[int]) -> List[int]:
     """Queue indices sorted longest-first, index as tiebreak (stable and
     identical across managers)."""
-    return sorted(range(len(q)), key=lambda i: (-q[i], i))
+    # sort is stable, so reverse=True on the value key keeps ascending
+    # index order within equal values -- same ordering as the tuple key
+    # (-q[i], i), without building a tuple per element.
+    return sorted(range(len(q)), key=q.__getitem__, reverse=True)
 
 
 def migration_plan(
@@ -93,8 +106,10 @@ def migration_plan(
     n = len(q)
     if n < 2:
         return MigrationPlan(Pattern.BALANCED, [])
-    pattern = classify_pattern(q, bulk)
+    if bulk <= 0:
+        raise ValueError(f"bulk must be positive, got {bulk}")
     ranked = _ranked(q)
+    pattern = _classify_ranked(q, ranked, bulk)
     threshold_hit = q[self_index] > threshold
 
     if pattern is Pattern.HILL:

@@ -26,13 +26,41 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+#: Memo size for the Erlang-C fast path.  Sweeps revisit the same
+#: (k, load) points constantly -- every manager tick at a configured
+#: offered load, every calibration grid point -- so an exact-key LRU
+#: short-circuits the O(k) series evaluation.  Keys are *exact* float
+#: loads: a hit returns the bit-identical value the series would
+#: produce, so memoization never perturbs simulation results.
+_ERLANG_CACHE_SIZE = 4096
+
+
+@lru_cache(maxsize=_ERLANG_CACHE_SIZE)
+def _erlang_c_series(k: int, a: float) -> float:
+    """The O(k) Erlang-C evaluation for validated ``0 < a < k``."""
+    rho = a / k
+    # Sum A^i / i! computed iteratively to avoid overflow for large k.
+    term = 1.0
+    partial = 1.0
+    for i in range(1, k):
+        term *= a / i
+        partial += term
+    top = term * a / k / (1.0 - rho)
+    return top / (partial + top)
+
 
 def erlang_c(k: int, load_erlangs: float) -> float:
     """Erlang-C formula: probability an arrival queues in an M/M/k system.
+
+    Memoized on the exact ``(k, load_erlangs)`` pair (LRU of
+    ``_ERLANG_CACHE_SIZE`` entries), so repeated evaluations -- the
+    per-tick threshold recomputation at a fixed offered load -- cost a
+    dictionary lookup instead of an O(k) series.
 
     Parameters
     ----------
@@ -50,24 +78,23 @@ def erlang_c(k: int, load_erlangs: float) -> float:
         return 0.0
     if load_erlangs >= k:
         return 1.0  # saturated: every arrival queues
-    a = load_erlangs
-    rho = a / k
-    # Sum A^i / i! computed iteratively to avoid overflow for large k.
-    term = 1.0
-    partial = 1.0
-    for i in range(1, k):
-        term *= a / i
-        partial += term
-    top = term * a / k / (1.0 - rho)
-    return top / (partial + top)
+    return _erlang_c_series(k, load_erlangs)
+
+
+@lru_cache(maxsize=_ERLANG_CACHE_SIZE)
+def _expected_queue_length_cached(k: int, load_erlangs: float) -> float:
+    c = erlang_c(k, load_erlangs)
+    return c * load_erlangs / (k - load_erlangs)
 
 
 def expected_queue_length(k: int, load_erlangs: float) -> float:
-    """Eq. 1: mean number waiting, ``E[Nq] = C_k(A) * A / (k - A)``."""
+    """Eq. 1: mean number waiting, ``E[Nq] = C_k(A) * A / (k - A)``.
+
+    Memoized exactly like :func:`erlang_c` (same keys, same hit rate).
+    """
     if load_erlangs >= k:
         return float("inf")
-    c = erlang_c(k, load_erlangs)
-    return c * load_erlangs / (k - load_erlangs)
+    return _expected_queue_length_cached(k, load_erlangs)
 
 
 def expected_wait(k: int, load_erlangs: float, mean_service_ns: float) -> float:

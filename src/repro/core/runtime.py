@@ -39,6 +39,15 @@ class LoadEstimator:
     operator has not supplied the load a priori.
     """
 
+    __slots__ = (
+        "alpha",
+        "_last_arrival",
+        "_mean_gap",
+        "_mean_service",
+        "arrivals",
+        "completions",
+    )
+
     def __init__(self, alpha: float = 0.05) -> None:
         if not 0 < alpha <= 1:
             raise ValueError(f"alpha must be in (0,1], got {alpha}")
@@ -139,6 +148,21 @@ class ManagerRuntime:
         self.migrations_triggered = 0
         self.descriptors_migrated = 0
         self.last_threshold: float = float("inf")
+        #: ``T_upper`` depends only on the (immutable-per-run) config.
+        self._t_upper: float = upper_bound_threshold(
+            config.workers_per_group, config.slo_multiplier
+        )
+        #: Threshold cache: the load the model threshold was last
+        #: computed at, and that threshold.  Recomputed only when the
+        #: load estimate moves by more than ``config.threshold_epsilon``
+        #: (0.0 by default: any change recomputes, so cached results are
+        #: always bit-identical to recomputation).
+        self._cached_load: Optional[float] = None
+        self._cached_threshold: float = float("inf")
+        #: The sorted isolation domain and this group's position in it
+        #: never change; computing them per tick was pure overhead.
+        self._domain_sorted: List[int] = sorted(self.domain)
+        self._domain_self: int = self._domain_sorted.index(self.group_index)
 
     # ------------------------------------------------------------------
     # UPDATE receive path
@@ -154,7 +178,7 @@ class ManagerRuntime:
     def current_threshold(self) -> float:
         cfg = self.config
         k = cfg.workers_per_group
-        t_upper = upper_bound_threshold(k, cfg.slo_multiplier)
+        t_upper = self._t_upper
         if cfg.threshold_mode == "fixed":
             return min(cfg.fixed_threshold, t_upper)
         if cfg.threshold_mode == "upper_bound":
@@ -168,8 +192,18 @@ class ManagerRuntime:
                 return t_upper  # not warmed up; be conservative
             load = est
         load = min(load, 0.995 * k)  # keep Erlang-C finite under overload
-        t_model = self.config.threshold_model.threshold(k, load)
-        return min(max(t_model, 1.0), t_upper)
+        # Threshold cache: skip the Erlang-C evaluation while the load
+        # estimate stays within epsilon of the last computed point.  The
+        # default epsilon of 0.0 reuses the cache only for *identical*
+        # loads, which is exactly what recomputation would return.
+        cached_load = self._cached_load
+        if cached_load is not None and abs(load - cached_load) <= cfg.threshold_epsilon:
+            return self._cached_threshold
+        t_model = cfg.threshold_model.threshold(k, load)
+        threshold = min(max(t_model, 1.0), t_upper)
+        self._cached_load = load
+        self._cached_threshold = threshold
+        return threshold
 
     # ------------------------------------------------------------------
     # The periodic tick (Algorithm 1 body)
@@ -191,9 +225,9 @@ class ManagerRuntime:
             self.hooks.flag_predicted(int(excess))
         # Classify within this manager's isolation domain only: queues
         # belonging to other applications are invisible to the decision.
-        domain = sorted(self.domain)
+        domain = self._domain_sorted
         sub_q = [self.q_view[g] for g in domain]
-        sub_self = domain.index(self.group_index)
+        sub_self = self._domain_self
         plan = migration_plan(sub_q, sub_self, cfg.bulk, cfg.concurrency,
                               threshold)
         size = migrate_size(cfg.bulk, cfg.concurrency)

@@ -43,7 +43,7 @@ from repro.hw.nic import HwTerminatedDelivery, PcieDelivery, RssSteering
 from repro.hw.noc import Noc
 from repro.hw.topology import MeshTopology
 from repro.schedulers.base import RpcSystem
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.request import Request
 
@@ -122,6 +122,43 @@ class AltocumulusSystem(RpcSystem):
         for hw in self.managers:
             hw.connect(self.managers)
 
+        #: Running per-group occupancy totals, kept in lock-step with
+        #: ``occupancy`` (mutated only at dispatch/complete): the arrival
+        #: path needs the group total once per request, and summing the
+        #: worker list there was pure per-request overhead.
+        self._occ_total: List[int] = [0] * g
+        #: Worker Core objects per (group, worker), and the inverse maps
+        #: from core_id back to (group, worker) -- precomputed so the
+        #: per-dispatch / per-completion paths skip the index arithmetic.
+        self._worker_cores: List[List[Core]] = [
+            [
+                self.cores[group * config.group_size + 1 + worker]
+                for worker in range(config.workers_per_group)
+            ]
+            for group in range(g)
+        ]
+        self._core_group: List[int] = [
+            core_id // config.group_size for core_id in range(len(self.cores))
+        ]
+        self._core_worker: List[int] = [
+            core_id % config.group_size - 1 for core_id in range(len(self.cores))
+        ]
+        #: Hardware JBSQ push latency per (group, worker): a pure
+        #: function of mesh geometry, precomputed once instead of walking
+        #: the topology on every dispatch.
+        self._hw_dispatch_ns: List[List[float]] = [
+            [
+                20.0
+                + self.topology.hops(
+                    group * config.group_size,
+                    group * config.group_size + 1 + worker,
+                )
+                * constants.noc_hop_ns
+                for worker in range(config.workers_per_group)
+            ]
+            for group in range(g)
+        ]
+
         for group in range(g):
             runtime = ManagerRuntime(
                 group_index=group,
@@ -132,10 +169,14 @@ class AltocumulusSystem(RpcSystem):
                 estimator=self.estimators[group],
             )
             self.runtimes.append(runtime)
+        #: One reusable tick event per group (the schedule_timer path).
+        self._tick_events: List[Optional[Event]] = [None] * g
         if config.runtime_enabled and g > 1:
             self._tick_running = True
             for group in range(g):
-                sim.schedule(config.period_ns, self._tick_loop, group)
+                self._tick_events[group] = sim.schedule_timer(
+                    config.period_ns, self._tick_loop, group
+                )
 
     # ------------------------------------------------------------------
     # Group/core index arithmetic
@@ -158,7 +199,7 @@ class AltocumulusSystem(RpcSystem):
         request.group_id = group
         request.enqueued = self.sim.now
         mrs = self.managers[group].mrs
-        request.queue_len_at_arrival = len(mrs) + sum(self.occupancy[group])
+        request.queue_len_at_arrival = len(mrs.entries) + self._occ_total[group]
         self.estimators[group].record_arrival(self.sim.now)
         if not mrs.enqueue(request):
             self._drop(request)  # bounded MR file overflowed
@@ -171,13 +212,15 @@ class AltocumulusSystem(RpcSystem):
     def _pump_group(self, group: int) -> None:
         cfg = self.config
         mrs = self.managers[group].mrs
+        entries = mrs.entries
         occ = self.occupancy[group]
-        while len(mrs):
+        while entries:
             worker = self._least_occupied(occ, cfg.worker_bound)
             if worker is None:
                 return
             request = mrs.dequeue_head()
             occ[worker] += 1
+            self._occ_total[group] += 1
             delay = self._dispatch_delay(group, worker)
             self._charge_scheduling(delay)
             self.sim.schedule(delay, self._arrive_at_worker, group, worker, request)
@@ -188,6 +231,10 @@ class AltocumulusSystem(RpcSystem):
         best_v = bound
         for idx, v in enumerate(occ):
             if v < best_v:
+                if v == 0:
+                    # Occupancy can't go below zero, so the first idle
+                    # worker is already the scan's final answer.
+                    return idx
                 best = idx
                 best_v = v
         return best
@@ -198,11 +245,9 @@ class AltocumulusSystem(RpcSystem):
             # Hardware JBSQ push: LLC-speed hand-off plus the on-chip
             # distance from the manager tile to the worker tile -- the
             # "variance in remote cache access latency" that penalizes
-            # very large groups (Sec. VIII-B).
-            mgr_tile = group * self.config.group_size
-            worker_tile = mgr_tile + 1 + worker
-            hops = self.topology.hops(mgr_tile, worker_tile)
-            return 20.0 + hops * self.constants.noc_hop_ns
+            # very large groups (Sec. VIII-B).  Precomputed per
+            # (group, worker) at construction.
+            return self._hw_dispatch_ns[group][worker]
         # Software dispatch: the manager core moves the message through
         # the coherence protocol, one op at a time.
         cost = self.constants.coherence_msg_ns
@@ -211,7 +256,7 @@ class AltocumulusSystem(RpcSystem):
         return (start + cost) - self.sim.now
 
     def _arrive_at_worker(self, group: int, worker: int, request: Request) -> None:
-        core = self._worker_core(group, worker)
+        core = self._worker_cores[group][worker]
         if core.busy:
             self.local_wait[group][worker].append(request)
         else:
@@ -224,9 +269,11 @@ class AltocumulusSystem(RpcSystem):
         core.assign(request, startup_ns=startup)
 
     def _after_complete(self, core: Core, request: Request) -> None:
-        group = self._group_of_core(core.core_id)
-        worker = self._worker_index(core.core_id)
+        core_id = core.core_id
+        group = self._core_group[core_id]
+        worker = self._core_worker[core_id]
         self.occupancy[group][worker] -= 1
+        self._occ_total[group] -= 1
         self.estimators[group].record_completion(request.service_time)
         waiting = self.local_wait[group][worker]
         if waiting:
@@ -238,7 +285,9 @@ class AltocumulusSystem(RpcSystem):
     # ------------------------------------------------------------------
     def _make_hooks(self, group: int) -> RuntimeHooks:
         return RuntimeHooks(
-            local_queue_len=lambda: len(self.managers[group].mrs),
+            local_queue_len=lambda entries=self.managers[group].mrs.entries: len(
+                entries
+            ),
             take_batch=lambda size: self._take_batch(group, size),
             restore_batch=lambda batch: self._restore_batch(group, batch),
             send_migrate=lambda dst, batch: self._send_migrate(group, dst, batch),
@@ -267,7 +316,7 @@ class AltocumulusSystem(RpcSystem):
             return batch
         workers = max(1, cfg.workers_per_group)
         mean_service = self.estimators[group].mean_service_ns or 0.0
-        ahead = len(mrs) + sum(self.occupancy[group])
+        ahead = len(mrs) + self._occ_total[group]
         for offset, request in enumerate(batch):
             if request.no_migration_eta is None:
                 est_wait = (ahead + offset) / workers * mean_service
@@ -352,7 +401,9 @@ class AltocumulusSystem(RpcSystem):
         self._tick_cost[group] = 0.0
         self.runtimes[group].tick()
         delay = max(self.config.period_ns, self._tick_cost[group])
-        self.sim.schedule(delay, self._tick_loop, group)
+        self._tick_events[group] = self.sim.schedule_timer(
+            delay, self._tick_loop, group, event=self._tick_events[group]
+        )
 
     def shutdown(self) -> None:
         self._tick_running = False

@@ -70,6 +70,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="suppress live sweep progress on stderr",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the 25 hottest functions by "
+             "cumulative time after each experiment (implies --jobs 1 so "
+             "the profiled work stays in-process)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -102,7 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     with overrides(
-        jobs=args.jobs,
+        jobs=1 if args.profile else args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=not args.no_progress,
@@ -112,9 +118,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             run = get_experiment(exp_id)
             before = counters.snapshot()
             started = time.time()
-            result = run(scale=args.scale, seed=args.seed)
+            if args.profile:
+                import cProfile
+                import pstats
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+                result = run(scale=args.scale, seed=args.seed)
+                profiler.disable()
+            else:
+                result = run(scale=args.scale, seed=args.seed)
             elapsed = time.time() - started
             print(result.table())
+            if args.profile:
+                profile_stats = pstats.Stats(profiler, stream=sys.stdout)
+                profile_stats.sort_stats("cumulative").print_stats(25)
             sweep = counters.delta(before)
             stats = ""
             if sweep.points:

@@ -95,14 +95,16 @@ class Core:
             request.extra_latency += switch_overhead_ns
         if startup_ns:
             request.extra_latency += startup_ns
-        self._event = self.sim.schedule(
-            total, self._finish_slice, request, run, preempting
+        # A core's completion event is exclusively owned by the core (no
+        # scheduler cancels it), so the fired event from the previous
+        # slice is re-armed instead of allocating one per request.
+        self._event = self.sim.schedule_timer(
+            total, self._finish_slice, request, run, preempting, event=self._event
         )
 
     def _finish_slice(self, request: Request, ran_ns: float, preempted: bool) -> None:
         self.busy_ns += self.sim.now - self._run_started
         self.current = None
-        self._event = None
         request.remaining -= ran_ns
         if preempted:
             self.preemptions += 1

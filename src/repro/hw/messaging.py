@@ -24,6 +24,7 @@ double-dispatch.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -55,7 +56,12 @@ class MessageType(enum.Enum):
     NACK = "nack"
 
 
-@dataclass
+#: Payloads ride inside every protocol message; slotted where the
+#: runtime supports it (``dataclass(slots=True)`` needs Python 3.10).
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(**_SLOTTED)
 class _Payload:
     """What rides inside a NocMessage for this protocol."""
 
@@ -121,6 +127,7 @@ class ManagerTileHw:
         self.migrator_ns_per_entry = float(migrator_ns_per_entry)
         self.stats = MessagingStats()
         self._peers: Dict[int, "ManagerTileHw"] = {}
+        self._others: List["ManagerTileHw"] = []
         self._pending_acks: Dict[int, List[Request]] = {}
         self._next_migrate_id = 0
 
@@ -130,6 +137,10 @@ class ManagerTileHw:
     def connect(self, peers: List["ManagerTileHw"]) -> None:
         """Register every manager tile (including self) for routing."""
         self._peers = {p.manager_index: p for p in peers}
+        # UPDATE fan-out targets, precomputed: broadcast_update runs once
+        # per manager per tick, so rebuilding this list there was pure
+        # per-tick overhead.
+        self._others = [p for p in peers if p is not self]
 
     def _peer(self, manager_index: int) -> "ManagerTileHw":
         if manager_index not in self._peers:
@@ -189,8 +200,7 @@ class ManagerTileHw:
 
     def broadcast_update(self, queue_len: int) -> None:
         """UPDATE: broadcast the local queue length to all other managers."""
-        others = [p for p in self._peers.values() if p is not self]
-        for peer in others:
+        for peer in self._others:
             payload = _Payload(
                 kind=MessageType.UPDATE,
                 src_manager=self.manager_index,

@@ -18,6 +18,7 @@ serialization captures the only congestion the protocol can create
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -27,8 +28,13 @@ from repro.hw.topology import MeshTopology
 #: Width of one NoC flit in bytes (typical 128-bit links).
 FLIT_BYTES = 16
 
+#: Messages are allocated once per MIGRATE/UPDATE/ACK, which at tick
+#: rates means tens of thousands per run -- slotted where the runtime
+#: supports it (``dataclass(slots=True)`` needs Python 3.10).
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_SLOTTED)
 class NocMessage:
     """One message in flight: source/destination tiles and opaque payload."""
 
@@ -106,21 +112,33 @@ class Noc:
         is enabled and the destination's ejection port is still draining
         an earlier message, delivery is pushed back accordingly.
         """
-        msg.injected_at = self.sim.now
+        now = self.sim.now
+        msg.injected_at = now
+        # Compute the flit count once per send: ``msg.flits`` is a
+        # property doing float ceil math, and the hot path needs it up
+        # to twice (latency + ejection-port hold).  Integer ceil is
+        # exact for byte counts.
+        flit_time = max(1, -(-msg.size_bytes // FLIT_BYTES)) * self.flit_ns
         if self.link_contention:
             arrival = self._contended_arrival(msg)
         else:
-            arrival = self.sim.now + self.latency(msg)
+            arrival = (
+                now
+                + self.topology.hops(msg.src, msg.dst) * self.per_hop_ns
+                + flit_time
+            )
         if self.endpoint_serialization:
             free_at = self._ejection_free.get(msg.dst, 0.0)
-            arrival = max(arrival, free_at)
+            if free_at > arrival:
+                arrival = free_at
             # The ejection port is busy for the message's flit time.
-            self._ejection_free[msg.dst] = arrival + msg.flits * self.flit_ns
+            self._ejection_free[msg.dst] = arrival + flit_time
         msg.delivered_at = arrival
-        self.stats.messages += 1
-        self.stats.bytes += msg.size_bytes
-        self.stats.total_latency_ns += arrival - msg.injected_at
-        self.stats.by_vnet[msg.vnet] = self.stats.by_vnet.get(msg.vnet, 0) + 1
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += msg.size_bytes
+        stats.total_latency_ns += arrival - now
+        stats.by_vnet[msg.vnet] = stats.by_vnet.get(msg.vnet, 0) + 1
         self.sim.schedule_at(arrival, on_delivery, msg)
         return arrival
 

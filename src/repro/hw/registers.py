@@ -87,7 +87,13 @@ class MigrationRegisterFile:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.entry_bytes = int(entry_bytes)
-        self._entries: Deque[Request] = deque()
+        #: Backing store.  Exposed (read-only by convention) because the
+        #: dispatch loop polls queue emptiness/length once per request;
+        #: going through ``len(mrs)`` costs a method call each time.
+        #: The deque is only ever mutated in place, never rebound, so
+        #: holding a reference to it stays valid for the file's lifetime.
+        self.entries: Deque[Request] = deque()
+        self._entries = self.entries
         self.high_watermark = 0
 
     def enqueue(self, request: Request) -> bool:

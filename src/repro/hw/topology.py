@@ -27,6 +27,11 @@ class MeshTopology:
         self.n_tiles = int(n_tiles)
         self.width = int(math.ceil(math.sqrt(n_tiles)))
         self.height = int(math.ceil(n_tiles / self.width))
+        #: Hop-count memo: pairs recur constantly (the NoC asks for the
+        #: same manager<->manager and manager<->worker distances on every
+        #: message), and the mesh is small enough that the table of all
+        #: ordered pairs is negligible.
+        self._hops_cache: dict = {}
 
     def coords(self, tile: int) -> Tuple[int, int]:
         """(x, y) position of a tile in the mesh."""
@@ -35,9 +40,15 @@ class MeshTopology:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan hop count between two tiles under XY routing."""
+        key = (src, dst)
+        cached = self._hops_cache.get(key)
+        if cached is not None:
+            return cached
         sx, sy = self.coords(src)
         dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        result = abs(sx - dx) + abs(sy - dy)
+        self._hops_cache[key] = result
+        return result
 
     def route(self, src: int, dst: int) -> "list[int]":
         """The XY (dimension-ordered) route as a tile sequence, source

@@ -13,16 +13,55 @@ Design notes
   reproducible for a fixed seed.
 * Cancellation is lazy: a cancelled event stays in the heap but is skipped
   when popped.  This keeps :meth:`Simulator.cancel` O(1), which matters
-  because preemptive schedulers cancel completion events frequently.
+  because preemptive schedulers cancel completion events frequently.  When
+  dead entries come to dominate the heap the simulator compacts it in
+  place (see :meth:`Simulator.cancel`), so pathological cancel-heavy
+  workloads cannot grow the heap without bound.
 * Callbacks run synchronously inside :meth:`Simulator.step`.  A callback
   may schedule further events (including at the current time) but must not
   schedule into the past.
+
+Fast-path engineering (all behavior-preserving)
+-----------------------------------------------
+The event kernel is the hottest code in the repository -- every simulated
+nanosecond flows through it -- so it trades a little uniformity for
+throughput:
+
+* **C-level heap ordering.**  Heap entries are ``(time, seq, event)``
+  tuples, not the :class:`Event` objects themselves, so ``heapq``'s C
+  implementation compares floats/ints directly and ``Event.__lt__`` is
+  never invoked on the hot path (it is retained for API compatibility).
+* **Event free list.**  After a callback returns, its Event object is
+  recycled onto a bounded free list *iff* no caller kept a handle to it
+  (checked via the CPython reference count, which is exact and
+  deterministic).  Handles that escape -- anything a caller might still
+  :meth:`Simulator.cancel` -- are never recycled, which preserves the
+  documented "cancel after fire is a no-op" contract verbatim.
+* **Timer reuse.**  Periodic machinery (manager runtime ticks, preemption
+  quanta) reschedules the *same* Event object via
+  :meth:`Simulator.schedule_timer` instead of allocating one per period.
+* **Monomorphic run loop.**  :meth:`Simulator.run` binds the heap, the
+  ``heapq`` primitives and the free list to locals and inlines the pop
+  path rather than calling :meth:`step` per event.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+import sys
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Exact reference counting is a CPython detail; on other interpreters the
+#: free list simply never recycles (correct, just slower).
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Upper bound on the event free list.  Steady-state simulations recycle
+#: through a handful of entries; the cap only matters after bursts.
+_FREE_LIST_MAX = 1024
+
+#: Compaction policy: rebuild the heap once at least this many cancelled
+#: entries exist *and* they outnumber the live ones.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -36,7 +75,7 @@ class Event:
     :meth:`Simulator.schedule_at`; user code holds them only to cancel.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -44,6 +83,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -51,9 +91,18 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.fired:
+            state = "fired"
+        else:
+            state = "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<Event t={self.time:.1f}ns #{self.seq} {name} {state}>"
+
+
+#: The heap entry layout: (time, seq, event).
+_Entry = Tuple[float, int, Event]
 
 
 class Simulator:
@@ -74,11 +123,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        #: Recycled Event objects with no outstanding handles.
+        self._free: List[Event] = []
+        #: Cancelled events still sitting in the heap (exact count).
+        self._dead: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,7 +140,22 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -95,27 +163,103 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now = {self.now}); time is monotonic"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, event))
+        return event
+
+    def schedule_timer(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        event: Optional[Event] = None,
+    ) -> Event:
+        """Schedule a periodic-tick callback, reusing ``event`` if possible.
+
+        The dedicated path for self-rescheduling machinery (the manager
+        runtime's ``Period`` tick, preemption quanta): pass the Event
+        returned by the previous firing and, provided it has already
+        fired, the same object is re-armed and re-pushed instead of
+        allocating a new one.
+
+        The returned Event must be owned exclusively by the calling
+        timer: handing it to other code that might cancel a stale
+        incarnation is undefined.  An ``event`` that never fired (e.g. a
+        stopped timer's cancelled entry, which may still sit in the
+        heap) is ignored and a fresh Event allocated.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        if event is not None and event.fired and not event.cancelled:
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.fired = False
+        else:
+            event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.  Cancelling twice, or after it has fired,
-        is a harmless no-op."""
+        is a harmless no-op.
+
+        O(1): the event is only flagged; the heap entry is reaped when it
+        reaches the top -- or, once dead entries are numerous *and*
+        outnumber live ones, by an immediate in-place compaction, keeping
+        cancel-heavy simulations (preemptive schedulers) from accumulating
+        unbounded garbage.
+        """
+        if event.cancelled or event.fired:
+            return
         event.cancelled = True
+        dead = self._dead + 1
+        self._dead = dead
+        if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: :meth:`run` binds the heap list to a local, so
+        compaction (triggered by ``cancel`` inside a callback) must mutate
+        the same list object rather than rebind ``self._heap``.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapify(heap)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self.now = event.time
             self._events_processed += 1
+            event.fired = True
             event.fn(*event.args)
             return True
         return False
@@ -144,28 +288,64 @@ class Simulator:
         self._stopped = False
         executed = 0
         limit_hit = False
+        # Local bindings for the hot loop.
+        heap = self._heap
+        free = self._free
+        pop = heappop
+        getref = _getrefcount
+        horizon = until if until is not None else float("inf")
+        budget = max_events if max_events is not None else -1
         try:
-            while self._heap and not self._stopped:
-                if max_events is not None and executed >= max_events:
+            while heap:
+                if self._stopped:
+                    break
+                if executed == budget:
                     limit_hit = True
                     break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    self._dead -= 1
+                    entry = None
+                    if (
+                        getref is not None
+                        and getref(event) == 2
+                        and len(free) < _FREE_LIST_MAX
+                    ):
+                        event.fn = None
+                        event.args = None
+                        free.append(event)
                     continue
-                if until is not None and head.time > until:
+                time = entry[0]
+                if time > horizon:
                     break
-                self.step()
+                pop(heap)
+                entry = None  # drop the tuple's reference for the recycle check
+                self.now = time
+                self._events_processed += 1
+                event.fired = True
+                event.fn(*event.args)
                 executed += 1
+                # Recycle iff nothing outside this frame holds the event
+                # (2 == the `event` local + getrefcount's argument), i.e.
+                # no one can ever cancel this incarnation.
+                if (
+                    getref is not None
+                    and getref(event) == 2
+                    and len(free) < _FREE_LIST_MAX
+                ):
+                    event.fn = None
+                    event.args = None
+                    free.append(event)
             else:
-                # Loop fell through: drained or stopped.  A drained heap
-                # still counts as limit-exhausted when the last executed
-                # event spent the budget.
-                limit_hit = (
-                    max_events is not None and executed >= max_events
-                )
+                # Loop fell through: drained.  A drained heap still
+                # counts as limit-exhausted when the last executed event
+                # spent the budget.
+                limit_hit = executed == budget >= 0
             if until is not None and not self._stopped and not limit_hit:
-                self.now = max(self.now, until)
+                if self.now < until:
+                    self.now = until
         finally:
             self._running = False
 
@@ -178,8 +358,19 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of events still in the heap, *including* lazily-cancelled
+        entries that have not been reaped yet.
+
+        Cancellation only flags an event (see :meth:`cancel`), so this
+        gauges heap memory, not future work.  Use :attr:`pending_active`
+        for the number of events that will actually fire.
+        """
         return len(self._heap)
+
+    @property
+    def pending_active(self) -> int:
+        """Number of live (non-cancelled) events awaiting execution."""
+        return len(self._heap) - self._dead
 
     @property
     def events_processed(self) -> int:

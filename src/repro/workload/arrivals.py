@@ -31,6 +31,18 @@ class ArrivalProcess(abc.ABC):
     def next_gap(self, rng: np.random.Generator) -> float:
         """Return the gap between the previous arrival and the next one."""
 
+    def next_gaps(self, rng: np.random.Generator, n: int) -> "list[float]":
+        """Draw ``n`` successive gaps.
+
+        The default is exactly ``n`` :meth:`next_gap` calls, so the
+        values (and the RNG stream consumed) are identical to drawing
+        one at a time.  Memoryless processes override this with a single
+        vectorized draw -- numpy fills a batch from the same bit stream
+        as repeated scalar draws, so the override is also bit-identical.
+        """
+        next_gap = self.next_gap
+        return [next_gap(rng) for _ in range(n)]
+
     @property
     @abc.abstractmethod
     def mean_rate(self) -> float:
@@ -48,6 +60,9 @@ class PoissonArrivals(ArrivalProcess):
 
     def next_gap(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self._mean_gap_ns))
+
+    def next_gaps(self, rng: np.random.Generator, n: int) -> "list[float]":
+        return rng.exponential(self._mean_gap_ns, size=n).tolist()
 
     @property
     def mean_rate(self) -> float:
@@ -68,6 +83,9 @@ class DeterministicArrivals(ArrivalProcess):
 
     def next_gap(self, rng: np.random.Generator) -> float:
         return self._gap_ns
+
+    def next_gaps(self, rng: np.random.Generator, n: int) -> "list[float]":
+        return [self._gap_ns] * n
 
     @property
     def mean_rate(self) -> float:

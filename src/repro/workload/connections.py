@@ -46,6 +46,19 @@ class ConnectionPool:
             return int(rng.integers(0, self.n_connections))
         return int(rng.choice(self.n_connections, p=self._weights))
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> "list[int]":
+        """Draw ``n`` successive connection ids.
+
+        The uniform case uses one vectorized ``integers`` draw, which
+        numpy fills from the same bit stream as repeated scalar draws
+        (bit-identical, much cheaper).  The skewed case keeps the
+        one-at-a-time ``choice`` path to preserve its exact stream.
+        """
+        if self._weights is None:
+            return rng.integers(0, self.n_connections, size=n).tolist()
+        sample = self.sample
+        return [sample(rng) for _ in range(n)]
+
     def hash_to_queue(self, connection: int, n_queues: int) -> int:
         """The RSS hash: a stable mapping from flow id to receive queue.
 

@@ -15,8 +15,16 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.connections import ConnectionPool
-from repro.workload.request import Request, RequestKind
+from repro.workload.request import Request
 from repro.workload.service import ServiceDistribution
+
+#: Draws are prefetched from each RNG stream in chunks of this size.
+#: Batch draws consume the same bit stream as scalar draws (numpy fills
+#: arrays sequentially), so prefetching is bit-identical -- it only
+#: amortizes the per-call numpy overhead across the chunk.  Chunks are
+#: capped at the number of draws the scalar path would make, so total
+#: stream consumption is unchanged too.
+_RNG_BATCH = 256
 
 
 class LoadGenerator:
@@ -77,20 +85,64 @@ class LoadGenerator:
         self._emitted = 0
         self.requests: List[Request] = []
 
+        # Per-stream prefetch buffers (see _RNG_BATCH).  Each stream
+        # needs exactly n_requests draws over the generator's lifetime.
+        self._gap_buf: List[float] = []
+        self._gap_i = 0
+        self._gap_drawn = 0
+        self._svc_buf: List[float] = []
+        self._svc_i = 0
+        self._svc_drawn = 0
+        self._conn_buf: List[int] = []
+        self._conn_i = 0
+        self._conn_drawn = 0
+
+    # ------------------------------------------------------------------
+    def _next_gap(self) -> float:
+        i = self._gap_i
+        buf = self._gap_buf
+        if i >= len(buf):
+            n = min(_RNG_BATCH, self.n_requests - self._gap_drawn)
+            buf = self._gap_buf = self.arrivals.next_gaps(self._arrival_rng, n)
+            self._gap_drawn += n
+            i = 0
+        self._gap_i = i + 1
+        return buf[i]
+
+    def _next_service(self) -> float:
+        i = self._svc_i
+        buf = self._svc_buf
+        if i >= len(buf):
+            n = min(_RNG_BATCH, self.n_requests - self._svc_drawn)
+            buf = self._svc_buf = self.service.sample_many(self._service_rng, n)
+            self._svc_drawn += n
+            i = 0
+        self._svc_i = i + 1
+        return buf[i]
+
+    def _next_connection(self) -> int:
+        i = self._conn_i
+        buf = self._conn_buf
+        if i >= len(buf):
+            n = min(_RNG_BATCH, self.n_requests - self._conn_drawn)
+            buf = self._conn_buf = self.connections.sample_many(self._conn_rng, n)
+            self._conn_drawn += n
+            i = 0
+        self._conn_i = i + 1
+        return buf[i]
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first arrival.  Must be called before ``sim.run``."""
-        gap = self.arrivals.next_gap(self._arrival_rng)
-        self.sim.schedule(gap, self._emit)
+        self.sim.schedule(self._next_gap(), self._emit)
 
     def _emit(self) -> None:
         req = Request(
             req_id=self._emitted,
             arrival=self.sim.now,
-            service_time=self.service.sample(self._service_rng),
+            service_time=self._next_service(),
             size_bytes=self.size_bytes,
-            connection=self.connections.sample(self._conn_rng),
-            kind=RequestKind.GENERIC,
+            connection=self._next_connection(),
         )
         if self.request_factory is not None:
             self.request_factory(req)
@@ -98,8 +150,7 @@ class LoadGenerator:
         self.requests.append(req)
         self.sink(req)
         if self._emitted < self.n_requests:
-            gap = self.arrivals.next_gap(self._arrival_rng)
-            self.sim.schedule(gap, self._emit)
+            self.sim.schedule(self._next_gap(), self._emit)
 
     # ------------------------------------------------------------------
     @property

@@ -10,8 +10,15 @@ response buffers are freed on completion.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+#: Requests are allocated millions of times per sweep, so the record is
+#: slotted wherever the runtime supports it (``dataclass(slots=True)``
+#: needs Python 3.10).  Slots shave both allocation time and per-request
+#: memory; behavior is identical either way.
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class RequestKind(enum.Enum):
@@ -24,7 +31,7 @@ class RequestKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass
+@dataclass(**_SLOTTED)
 class Request:
     """One RPC request and its lifecycle timestamps (all in ns).
 

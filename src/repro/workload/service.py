@@ -32,6 +32,18 @@ class ServiceDistribution(abc.ABC):
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one service time in nanoseconds."""
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> "list[float]":
+        """Draw ``n`` successive service times.
+
+        The default is exactly ``n`` :meth:`sample` calls, so values and
+        RNG stream consumption match one-at-a-time draws.  Distributions
+        backed by a single numpy call override this with a vectorized
+        draw, which numpy fills from the same bit stream -- identical
+        values, far less per-call overhead.
+        """
+        sample = self.sample
+        return [sample(rng) for _ in range(n)]
+
     @property
     @abc.abstractmethod
     def mean(self) -> float:
@@ -66,6 +78,9 @@ class Fixed(ServiceDistribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value_ns
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> "list[float]":
+        return [self.value_ns] * n
 
     @property
     def mean(self) -> float:
@@ -147,6 +162,9 @@ class Exponential(ServiceDistribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean_ns))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> "list[float]":
+        return rng.exponential(self.mean_ns, size=n).tolist()
 
     @property
     def mean(self) -> float:

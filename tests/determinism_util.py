@@ -1,0 +1,75 @@
+"""Canonical run fingerprints for the engine-determinism golden test.
+
+The fast-path work on the simulation kernel (event free-list, threshold
+caching, slotted records) must not change *any* observable simulation
+output.  To prove it, ``tests/data/determinism_golden.json`` stores a
+fingerprint of one fixed-seed run per scheduler system, captured from
+the pre-optimization engine; ``tests/test_determinism.py`` recomputes
+the same fingerprints against the current engine and requires exact
+equality -- bit-identical per-request timestamps and percentiles.
+
+Floats are serialized with ``repr``: CPython's shortest round-tripping
+representation, so two runs fingerprint equal iff every value is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+from repro.api import quick_run
+
+#: The systems the golden file covers (d-FCFS, JBSQ, RSS++,
+#: work stealing, Altocumulus).
+GOLDEN_SYSTEMS = ("rss", "rpcvalet", "rsspp", "zygos", "altocumulus")
+
+#: Fixed workload: 32 cores at ~80% load with exponential service, small
+#: enough to run all five systems in a few seconds, loaded enough that
+#: Altocumulus migrations and work stealing actually trigger.
+GOLDEN_PARAMS = dict(
+    n_cores=32,
+    rate_rps=24e6,
+    mean_service_ns=1000.0,
+    n_requests=3000,
+    seed=7,
+)
+
+
+def run_fingerprint(system: str) -> Dict[str, object]:
+    """Run one golden-config simulation and fingerprint its output."""
+    result = quick_run(system=system, **GOLDEN_PARAMS)
+    hasher = hashlib.sha256()
+    for r in result.requests:
+        record = (
+            r.req_id,
+            repr(r.arrival),
+            repr(r.enqueued),
+            repr(r.started),
+            repr(r.finished),
+            r.migrations,
+            r.steals,
+            r.core_id,
+            r.group_id,
+        )
+        hasher.update(json.dumps(record).encode())
+    lat = result.latency
+    return {
+        "system_name": result.system_name,
+        "requests_sha256": hasher.hexdigest(),
+        "count": lat.count,
+        "mean_ns": repr(lat.mean),
+        "p50_ns": repr(lat.p50),
+        "p90_ns": repr(lat.p90),
+        "p99_ns": repr(lat.p99),
+        "p999_ns": repr(lat.p999),
+        "max_ns": repr(lat.maximum),
+        "sim_time_ns": repr(result.sim_time_ns),
+        "throughput_rps": repr(result.throughput_rps),
+        "dropped": result.dropped,
+    }
+
+
+def all_fingerprints() -> Dict[str, Dict[str, object]]:
+    return {system: run_fingerprint(system) for system in GOLDEN_SYSTEMS}

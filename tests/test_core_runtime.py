@@ -192,3 +192,41 @@ class TestTick:
         assert runtime.ticks == 1
         assert runtime.migrations_triggered == 1
         assert runtime.descriptors_migrated == 12  # 3 dests x S=4
+
+
+class TestLoadEstimatorEdgeCases:
+    def test_zero_interarrival_gap_yields_no_estimate(self):
+        # Simultaneous arrivals (a batch landing in one tick) drive the
+        # EWMA gap to zero; the load is then undefined, not infinite.
+        est = LoadEstimator(alpha=1.0)
+        est.record_arrival(100.0)
+        est.record_arrival(100.0)
+        est.record_completion(50.0)
+        assert est.load_erlangs() is None
+
+    def test_single_gap_single_service_estimates_exactly(self):
+        est = LoadEstimator()
+        est.record_arrival(0.0)
+        est.record_arrival(200.0)  # first (and only) gap sample: 200 ns
+        est.record_completion(100.0)
+        assert est.load_erlangs() == pytest.approx(100.0 / 200.0)
+
+    def test_none_before_any_completion(self):
+        est = LoadEstimator()
+        est.record_arrival(0.0)
+        est.record_arrival(100.0)  # gap known, service unknown
+        assert est.load_erlangs() is None
+
+    def test_none_before_any_gap(self):
+        est = LoadEstimator()
+        est.record_completion(100.0)  # service known, gap unknown
+        est.record_arrival(0.0)  # first arrival: still no gap
+        assert est.load_erlangs() is None
+
+    def test_sample_counters_track_all_events(self):
+        est = LoadEstimator()
+        est.record_arrival(100.0)
+        est.record_arrival(100.0)
+        est.record_completion(10.0)
+        assert est.arrivals == 2
+        assert est.completions == 1

@@ -1,0 +1,61 @@
+"""Golden-output determinism gate for the optimized simulation engine.
+
+``tests/data/determinism_golden.json`` was captured from the engine
+*before* the fast-path rework (event free-list, timer reuse, memoized
+Erlang-C, threshold caching, batched RNG prefetch, slotted records).
+The optimizations claim zero observable behavior change, so the current
+engine must reproduce those fingerprints exactly: bit-identical
+per-request timestamps, migration/steal counts, core/group placement,
+and latency percentiles for every scheduler system.
+
+If an intentional semantic change ever invalidates the goldens,
+regenerate them with::
+
+    PYTHONPATH=src python -c "
+    import json
+    from tests.determinism_util import all_fingerprints
+    print(json.dumps(all_fingerprints(), indent=2))
+    " > tests/data/determinism_golden.json
+
+and say so loudly in the commit message -- a silent regeneration defeats
+the whole gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.determinism_util import GOLDEN_SYSTEMS, run_fingerprint
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "determinism_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("system", GOLDEN_SYSTEMS)
+def test_bit_identical_to_pre_optimization_engine(system, golden):
+    current = run_fingerprint(system)
+    expected = golden[system]
+    # Compare the request digest last: the scalar fields give a readable
+    # failure (which percentile moved) before the opaque hash does.
+    for key in expected:
+        if key == "requests_sha256":
+            continue
+        assert current[key] == expected[key], f"{system}: field {key!r} diverged"
+    assert current["requests_sha256"] == expected["requests_sha256"], (
+        f"{system}: per-request timestamps diverged from the "
+        "pre-optimization engine"
+    )
+
+
+def test_optimized_engine_is_self_deterministic():
+    """Two back-to-back runs of the optimized engine are bit-identical."""
+    first = run_fingerprint("altocumulus")
+    second = run_fingerprint("altocumulus")
+    assert first == second

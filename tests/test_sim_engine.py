@@ -278,3 +278,67 @@ class TestIntrospection:
         sim.schedule(1.0, lambda a, b: result.update(a=a, b=b), 7, "x")
         sim.run()
         assert result == {"a": 7, "b": "x"}
+
+
+class TestPendingCounters:
+    """``pending`` vs ``pending_active`` under lazy cancellation.
+
+    ``cancel`` only flags an event, so cancelled entries linger in the
+    heap until popped (or compacted): ``pending`` deliberately counts
+    them (heap memory), while ``pending_active`` counts only events that
+    will actually fire.
+    """
+
+    def test_pending_includes_lazily_cancelled_entries(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        sim.cancel(events[0])
+        sim.cancel(events[3])
+        # The cancelled entries are still physically in the heap.
+        assert sim.pending == 5
+        assert sim.pending_active == 3
+
+    def test_pending_active_matches_events_that_fire(self, sim):
+        fired = []
+        events = [
+            sim.schedule(float(i + 1), fired.append, i) for i in range(6)
+        ]
+        for ev in events[::2]:
+            sim.cancel(ev)
+        expected = sim.pending_active
+        sim.run()
+        assert len(fired) == expected == 3
+        assert sim.pending == 0
+        assert sim.pending_active == 0
+
+    def test_cancel_after_fire_does_not_skew_counters(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1)  # fires ev
+        sim.cancel(ev)  # no-op: already fired
+        assert sim.pending == 1
+        assert sim.pending_active == 1
+
+    def test_double_cancel_counts_once(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim.pending == 2
+        assert sim.pending_active == 1
+
+    def test_compaction_reaps_dead_entries(self, sim):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        doomed = [
+            sim.schedule(1000.0 + i, lambda: None)
+            for i in range(2 * _COMPACT_MIN_DEAD)
+        ]
+        for ev in doomed:
+            sim.cancel(ev)
+        # Compaction kicked in once dead entries dominated: the heap no
+        # longer holds every cancelled entry, and the live count is exact.
+        assert sim.pending < len(keep) + len(doomed)
+        assert sim.pending_active == len(keep)
+        sim.run()
+        assert sim.events_processed == len(keep)
