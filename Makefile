@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples smoke sweep-fast clean
+.PHONY: install test bench artifacts examples smoke sweep-fast rack-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,11 @@ smoke:
 ## a second invocation replays cached sweep points from disk.
 sweep-fast:
 	$(PYTHON) -m repro.experiments.cli all --scale 0.2 --jobs 0 --out results/
+
+## Reduced-scale rack-tier steering sweep (the fig_rack experiment),
+## fanned out over every CPU with cached sweep points.
+rack-fast:
+	$(PYTHON) -m repro.experiments.cli rack --scale 0.2 --jobs 0 --out results/
 
 examples:
 	@for script in examples/*.py; do \

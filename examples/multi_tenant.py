@@ -20,7 +20,6 @@ Usage::
 """
 
 from repro.analysis.tables import format_table
-from repro.api import run_workload
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.sim.engine import Simulator

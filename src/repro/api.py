@@ -23,7 +23,7 @@ from repro.analysis.metrics import (
 from repro.analysis.slo import violation_ratio
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
-from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
+from repro.hw.constants import DEFAULT_CONSTANTS
 from repro.hw.nic import PcieDelivery
 from repro.schedulers.base import RpcSystem
 from repro.schedulers.centralized import ShinjukuSystem
@@ -97,8 +97,27 @@ def _register_defaults() -> None:
             "altocumulus": lambda s, r, n: AltocumulusSystem(
                 s, r, _default_ac_config(n)
             ),
+            "rack": _default_rack,
         }
     )
+
+
+def _default_rack(sim: Simulator, streams: RandomStreams, n_cores: int):
+    """The cluster tier behind the one-server API: ``n_cores`` total
+    cores split over four Altocumulus servers (one server when the count
+    doesn't divide), steered by power-of-two-choices.  Full control over
+    rack shape lives in :mod:`repro.cluster`."""
+    from repro.cluster.topology import RackConfig, build_rack
+
+    n_servers = 4 if n_cores % 4 == 0 and n_cores >= 8 else 1
+    config = RackConfig(
+        n_servers=n_servers,
+        cores_per_server=n_cores // n_servers,
+        system="altocumulus",
+        policy="power_of_d",
+        d=2,
+    )
+    return build_rack(sim, streams, config)
 
 
 def _default_ac_config(n_cores: int) -> AltocumulusConfig:

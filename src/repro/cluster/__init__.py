@@ -1,0 +1,60 @@
+"""The rack-scale cluster tier: many servers behind one ToR switch.
+
+Altocumulus schedules nanosecond-scale RPCs *within* one server; this
+package scales the reproduction to a rack of such servers fronted by a
+top-of-rack switch model and a pluggable inter-server steering layer
+(the RackSched/Rain design point).  A :class:`RackCluster` quacks like a
+single :class:`~repro.schedulers.base.RpcSystem`, so the whole existing
+stack -- :func:`repro.api.run_workload`, the sweep runner and its cache,
+the analysis layer -- drives a rack unchanged::
+
+    from repro import quick_run
+
+    result = quick_run(system="rack", n_cores=64)   # 4 servers x 16
+
+or, with full control::
+
+    from repro.cluster import RackConfig, build_rack
+
+    rack = build_rack(sim, streams, RackConfig(
+        n_servers=8, cores_per_server=16, system="altocumulus",
+        policy="power_of_d", d=2, staleness_ns=5_000.0))
+"""
+
+from repro.cluster.metrics import (
+    cluster_summary,
+    imbalance_index,
+    per_server_completed,
+    per_server_latency,
+    per_server_utilization,
+)
+from repro.cluster.policies import (
+    POLICY_NAMES,
+    ConnectionHashSteering,
+    PowerOfDSteering,
+    RoundRobinSteering,
+    ShortestExpectedWaitSteering,
+    SteeringPolicy,
+    make_policy,
+)
+from repro.cluster.switch import ToRSwitch
+from repro.cluster.topology import RackCluster, RackConfig, build_rack
+
+__all__ = [
+    "ConnectionHashSteering",
+    "POLICY_NAMES",
+    "PowerOfDSteering",
+    "RackCluster",
+    "RackConfig",
+    "RoundRobinSteering",
+    "ShortestExpectedWaitSteering",
+    "SteeringPolicy",
+    "ToRSwitch",
+    "build_rack",
+    "cluster_summary",
+    "imbalance_index",
+    "make_policy",
+    "per_server_completed",
+    "per_server_latency",
+    "per_server_utilization",
+]

@@ -1,0 +1,86 @@
+"""Cluster-wide measurement: aggregation, imbalance, steering counters.
+
+The rack tier's evaluation questions are distributional -- how unevenly
+did load land across servers, where did the tail come from, what did
+steering decide -- so this module turns a finished
+:class:`~repro.cluster.topology.RackCluster` into small summaries:
+
+* :func:`imbalance_index` -- max/mean of any per-server quantity (1.0 is
+  perfect balance; N is everything-on-one-server for an N-server rack).
+* :func:`per_server_latency` -- one :class:`LatencySummary` per server.
+* :func:`cluster_summary` -- the flat ``dict`` of floats the rack stuffs
+  into ``stats.extra`` at shutdown, so every sweep point carries its
+  cluster metrics through the runner cache for free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.analysis.metrics import LatencySummary, summarize_latencies
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.topology import RackCluster
+
+
+def imbalance_index(counts: Sequence[float]) -> float:
+    """Max-over-mean of a per-server quantity.
+
+    1.0 means perfectly balanced; ``len(counts)`` means one server took
+    everything.  0.0 when the rack saw no traffic at all.
+    """
+    if not counts:
+        return 0.0
+    total = float(sum(counts))
+    if total <= 0:
+        return 0.0
+    mean = total / len(counts)
+    return max(counts) / mean
+
+
+def per_server_completed(rack: "RackCluster") -> List[int]:
+    """Completed-request count per server."""
+    return [server.stats.completed for server in rack.servers]
+
+
+def per_server_latency(rack: "RackCluster") -> List[LatencySummary]:
+    """Latency summary of each server's completed requests."""
+    return [
+        summarize_latencies(server.finished_requests)
+        for server in rack.servers
+    ]
+
+
+def per_server_utilization(rack: "RackCluster", elapsed_ns: float) -> List[float]:
+    """Mean core utilization per server over ``elapsed_ns``."""
+    return [server.utilization(elapsed_ns) for server in rack.servers]
+
+
+def cluster_summary(rack: "RackCluster") -> Dict[str, float]:
+    """Flat float-valued metrics for ``stats.extra`` (runner-cacheable).
+
+    Keys:
+
+    * ``imbalance_index`` -- max/mean of per-server completions.
+    * ``steer_imbalance`` -- max/mean of steering decisions (how uneven
+      the *policy* was, before any queueing happened).
+    * ``steer_srv<i>`` -- requests steered to each server.
+    * ``switch_dropped`` / ``switch_queue_wait_ns`` -- ToR accounting.
+    * ``steer_refreshes`` (power-of-d) / ``steer_samples``
+      (shortest-wait) -- how much telemetry the policy consumed.
+    """
+    summary: Dict[str, float] = {
+        "imbalance_index": imbalance_index(per_server_completed(rack)),
+        "steer_imbalance": imbalance_index(rack.policy.decisions),
+        "switch_dropped": float(rack.switch.dropped),
+        "switch_queue_wait_ns": rack.switch.queue_wait_ns,
+    }
+    for i, count in enumerate(rack.policy.decisions):
+        summary[f"steer_srv{i}"] = float(count)
+    refreshes = getattr(rack.policy, "refreshes", None)
+    if refreshes is not None:
+        summary["steer_refreshes"] = float(refreshes)
+    samples = getattr(rack.policy, "samples_taken", None)
+    if samples is not None:
+        summary["steer_samples"] = float(samples)
+    return summary

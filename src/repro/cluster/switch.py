@@ -1,0 +1,152 @@
+"""The top-of-rack switch model.
+
+A :class:`ToRSwitch` sits between the rack's load generator and its N
+servers.  Every request entering the rack is forwarded through the
+switch to the downlink port of the server the steering policy picked,
+paying:
+
+* **store-and-forward serialization** on the egress port -- the wire
+  time of the request's bytes at the configured downlink bandwidth
+  (requests to the same port serialize behind each other), and
+* **a fixed per-port forwarding latency** -- the switching pipeline plus
+  propagation to the server NIC (commodity ToR cut-through latency is a
+  few hundred nanoseconds).
+
+Each egress port buffers at most ``port_queue_depth`` requests; arrivals
+beyond that are tail-dropped and accounted per port, in the style of the
+drop accounting :mod:`repro.hw.nic` does for bounded receive queues.
+The switch deliberately models only the downlink direction: response
+traffic leaves the latency measurement at the server (the paper measures
+server-side latency), so modelling it would only dilute the signal the
+cluster tier studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.workload.request import Request
+
+#: Default downlink bandwidth: a 100 GbE port moves one bit per
+#: hundredth of a nanosecond, i.e. a 300 B request serializes in 24 ns.
+DEFAULT_BANDWIDTH_GBPS = 100.0
+
+#: Default port-to-port forwarding latency (cut-through ToR class).
+DEFAULT_FORWARD_LATENCY_NS = 250.0
+
+#: Default per-port buffer, in requests.
+DEFAULT_PORT_QUEUE_DEPTH = 256
+
+DeliverFn = Callable[[Request], None]
+DropFn = Callable[[Request, int], None]
+
+
+class ToRSwitch:
+    """An output-queued top-of-rack switch with bounded per-port buffers.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulation kernel.
+    n_ports:
+        Number of server-facing downlink ports.
+    bandwidth_gbps:
+        Downlink bandwidth per port; sets the serialization time of each
+        forwarded request (``size_bytes * 8 / bandwidth_gbps`` ns).
+    forward_latency_ns:
+        Fixed switching-pipeline + propagation latency added after the
+        request finishes serializing.
+    port_queue_depth:
+        Maximum requests buffered per egress port (``None`` =
+        unbounded).  Arrivals to a full port are tail-dropped.
+    on_drop:
+        Called as ``on_drop(request, port)`` for every tail-dropped
+        request, after the switch's own accounting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+        forward_latency_ns: float = DEFAULT_FORWARD_LATENCY_NS,
+        port_queue_depth: Optional[int] = DEFAULT_PORT_QUEUE_DEPTH,
+        on_drop: Optional[DropFn] = None,
+    ) -> None:
+        if n_ports <= 0:
+            raise ValueError(f"need at least one port, got {n_ports}")
+        if bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+        if forward_latency_ns < 0:
+            raise ValueError(
+                f"forwarding latency must be >= 0, got {forward_latency_ns}"
+            )
+        if port_queue_depth is not None and port_queue_depth <= 0:
+            raise ValueError(
+                f"port queue depth must be positive (or None), got {port_queue_depth}"
+            )
+        self.sim = sim
+        self.n_ports = int(n_ports)
+        self.bandwidth_gbps = float(bandwidth_gbps)
+        self.forward_latency_ns = float(forward_latency_ns)
+        self.port_queue_depth = port_queue_depth
+        self.on_drop = on_drop
+        #: Time each port's serializer frees up.
+        self._free_at: List[float] = [0.0] * self.n_ports
+        #: Requests currently buffered (queued or serializing) per port.
+        self._occupancy: List[int] = [0] * self.n_ports
+        self.forwarded: int = 0
+        self.dropped: int = 0
+        self.dropped_per_port: List[int] = [0] * self.n_ports
+        #: Cumulative ns requests spent waiting for their port serializer.
+        self.queue_wait_ns: float = 0.0
+
+    # ------------------------------------------------------------------
+    def serialization_ns(self, size_bytes: int) -> float:
+        """Wire time of ``size_bytes`` at the port bandwidth, in ns."""
+        return size_bytes * 8.0 / self.bandwidth_gbps
+
+    def occupancy(self, port: int) -> int:
+        """Requests currently buffered on ``port`` (incl. serializing)."""
+        return self._occupancy[port]
+
+    # ------------------------------------------------------------------
+    def forward(self, request: Request, port: int, deliver: DeliverFn) -> bool:
+        """Forward ``request`` out of ``port``; ``deliver`` fires when it
+        reaches the server NIC.  Returns False when tail-dropped."""
+        if not 0 <= port < self.n_ports:
+            raise ValueError(f"port {port} out of range [0, {self.n_ports})")
+        if (
+            self.port_queue_depth is not None
+            and self._occupancy[port] >= self.port_queue_depth
+        ):
+            self.dropped += 1
+            self.dropped_per_port[port] += 1
+            request.dropped = True
+            if self.on_drop is not None:
+                self.on_drop(request, port)
+            return False
+        now = self.sim.now
+        start = self._free_at[port]
+        if start < now:
+            start = now
+        self.queue_wait_ns += start - now
+        done = start + self.serialization_ns(request.size_bytes)
+        self._free_at[port] = done
+        self._occupancy[port] += 1
+        self.sim.schedule(done - now, self._tx_done, request, port, deliver)
+        return True
+
+    def _tx_done(self, request: Request, port: int, deliver: DeliverFn) -> None:
+        """Serialization finished: free the buffer slot, then deliver
+        after the forwarding pipeline."""
+        self._occupancy[port] -= 1
+        self.forwarded += 1
+        self.sim.schedule(self.forward_latency_ns, deliver, request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ToRSwitch ports={self.n_ports} forwarded={self.forwarded} "
+            f"dropped={self.dropped}>"
+        )

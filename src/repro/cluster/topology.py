@@ -1,0 +1,257 @@
+"""Rack topology: N scheduler systems behind one ToR switch.
+
+:class:`RackConfig` describes a rack declaratively (how many servers,
+which per-server scheduling system, which inter-server steering policy,
+switch parameters); :func:`build_rack` wires it into a live
+:class:`RackCluster` on a shared simulator.
+
+A :class:`RackCluster` presents the same duck interface as a single
+:class:`~repro.schedulers.base.RpcSystem` (``offer`` / ``expect`` /
+``shutdown`` / ``utilization`` / ``stats``), so everything built for one
+server -- :func:`repro.api.run_workload`, :func:`repro.api.quick_run`,
+the :mod:`repro.runner` sweep machinery, the analysis layer -- drives a
+whole rack unchanged.  Request flow::
+
+    load generator --offer--> steering policy picks server
+        --> ToR switch (serialization + queueing + forwarding latency)
+        --> server's own NIC delivery --> server's scheduler --> core
+
+Determinism: each server gets RNG streams spawned from the master
+streams under a stable per-server name, and the steering policy draws
+from its own named stream, so rack simulations are bit-identical for a
+fixed seed regardless of server count or process placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster import metrics as cluster_metrics
+from repro.cluster.policies import (
+    DEFAULT_D,
+    DEFAULT_SAMPLE_PERIOD_NS,
+    POLICY_NAMES,
+    SteeringPolicy,
+    make_policy,
+)
+from repro.cluster.switch import (
+    DEFAULT_BANDWIDTH_GBPS,
+    DEFAULT_FORWARD_LATENCY_NS,
+    DEFAULT_PORT_QUEUE_DEPTH,
+    ToRSwitch,
+)
+from repro.schedulers.base import RpcSystem, SystemStats
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class RackConfig:
+    """Declarative description of one rack.
+
+    Attributes
+    ----------
+    n_servers, cores_per_server:
+        Rack shape.  Total capacity is the product.
+    system:
+        Per-server scheduling system, any name accepted by
+        :func:`repro.api.build_system` ("altocumulus", "rss", ...).
+    policy:
+        Inter-server steering policy name (see
+        :data:`repro.cluster.policies.POLICY_NAMES`).
+    d, staleness_ns:
+        Power-of-d parameters: sampled servers per decision and how old
+        a cached load estimate may get before it is re-probed.
+    sample_period_ns:
+        RackSched-style policies: period of the full load sample.
+    forward_latency_ns, bandwidth_gbps, port_queue_depth:
+        ToR switch model (see :class:`repro.cluster.switch.ToRSwitch`).
+    """
+
+    n_servers: int = 4
+    cores_per_server: int = 16
+    system: str = "altocumulus"
+    policy: str = "power_of_d"
+    d: int = DEFAULT_D
+    staleness_ns: float = 0.0
+    sample_period_ns: float = DEFAULT_SAMPLE_PERIOD_NS
+    forward_latency_ns: float = DEFAULT_FORWARD_LATENCY_NS
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS
+    port_queue_depth: Optional[int] = DEFAULT_PORT_QUEUE_DEPTH
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError(f"need at least one server, got {self.n_servers}")
+        if self.cores_per_server <= 0:
+            raise ValueError(
+                f"need at least one core per server, got {self.cores_per_server}"
+            )
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown steering policy {self.policy!r}; "
+                f"pick from {POLICY_NAMES}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_servers * self.cores_per_server
+
+    def capacity_rps(self, mean_service_ns: float) -> float:
+        """Aggregate service capacity at a given mean service time."""
+        return self.total_cores / mean_service_ns * 1e9
+
+
+class RackCluster:
+    """N independent scheduler systems behind one switch and one policy.
+
+    Implements the system duck interface :func:`repro.api.run_workload`
+    expects, so a rack can be driven (and cached, and fanned out by the
+    sweep runner) exactly like a single server.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        config: RackConfig,
+        servers: List[RpcSystem],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.servers = servers
+        self.name = (
+            f"rack[{config.n_servers}x{config.system}"
+            f"x{config.cores_per_server}/{config.policy}]"
+        )
+        self.stats = SystemStats()
+        self.switch = ToRSwitch(
+            sim,
+            n_ports=config.n_servers,
+            bandwidth_gbps=config.bandwidth_gbps,
+            forward_latency_ns=config.forward_latency_ns,
+            port_queue_depth=config.port_queue_depth,
+            on_drop=self._switch_dropped,
+        )
+        self.policy: SteeringPolicy = make_policy(
+            config.policy,
+            n_servers=config.n_servers,
+            probe=self.outstanding,
+            sim=sim,
+            rng=streams.get("steering"),
+            cores_per_server=config.cores_per_server,
+            d=config.d,
+            staleness_ns=config.staleness_ns,
+            sample_period_ns=config.sample_period_ns,
+        )
+        self._expected: Optional[int] = None
+        self._deliver = [server.offer for server in self.servers]
+        for server in self.servers:
+            server.completion_hooks.append(self._server_completed)
+            server.drop_hooks.append(self._server_dropped)
+        self.policy.start()
+
+    # ------------------------------------------------------------------
+    # Load-generator interface (duck-compatible with RpcSystem)
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> None:
+        """Rack ingress: steer, then forward through the ToR switch."""
+        self.stats.offered += 1
+        server = self.policy.pick_server(request)
+        self.switch.forward(request, server, self._deliver[server])
+
+    def expect(self, n_requests: int) -> None:
+        """Stop the simulation once ``n_requests`` terminate anywhere in
+        the rack (completed at a server, dropped at a server, or dropped
+        at the switch)."""
+        if n_requests <= 0:
+            raise ValueError(f"expected count must be positive, got {n_requests}")
+        self._expected = n_requests
+
+    # ------------------------------------------------------------------
+    # Terminal accounting
+    # ------------------------------------------------------------------
+    def _server_completed(self, request: Request) -> None:
+        self.stats.completed += 1
+        self._check_done()
+
+    def _server_dropped(self, request: Request) -> None:
+        self.stats.dropped += 1
+        self._check_done()
+
+    def _switch_dropped(self, request: Request, port: int) -> None:
+        self.stats.dropped += 1
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if (
+            self._expected is not None
+            and self.stats.completed + self.stats.dropped >= self._expected
+        ):
+            self.sim.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def outstanding(self, server: int) -> float:
+        """Requests in flight inside ``server`` (its NIC delivery, its
+        queues, its cores) -- the load signal steering policies probe."""
+        stats = self.servers[server].stats
+        return float(stats.offered - stats.completed - stats.dropped)
+
+    @property
+    def finished_requests(self) -> List[Request]:
+        """All completed requests, in per-server completion order."""
+        merged: List[Request] = []
+        for server in self.servers:
+            merged.extend(server.finished_requests)
+        return merged
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Mean core utilization across every core in the rack."""
+        if elapsed_ns <= 0:
+            return 0.0
+        total_cores = sum(len(server.cores) for server in self.servers)
+        if total_cores == 0:
+            return 0.0
+        busy = sum(
+            core.busy_ns for server in self.servers for core in server.cores
+        )
+        return busy / (elapsed_ns * total_cores)
+
+    def shutdown(self) -> None:
+        """Stop periodic machinery and distill cluster metrics into
+        ``stats.extra`` (they travel with every sweep result)."""
+        self.policy.shutdown()
+        for server in self.servers:
+            server.shutdown()
+        self.stats.extra.update(cluster_metrics.cluster_summary(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RackCluster {self.name} "
+            f"done={self.stats.completed}/{self.stats.offered}>"
+        )
+
+
+def build_rack(
+    sim: Simulator, streams: RandomStreams, config: RackConfig
+) -> RackCluster:
+    """Instantiate a rack: N per-server systems plus switch and policy.
+
+    Imported lazily by :mod:`repro.api` (which registers the ``"rack"``
+    system name); importing it here at module scope would be circular.
+    """
+    from repro.api import build_system
+
+    servers = [
+        build_system(
+            config.system,
+            sim,
+            streams.spawn(f"rack-server-{i}"),
+            config.cores_per_server,
+        )
+        for i in range(config.n_servers)
+    ]
+    return RackCluster(sim, streams, config, servers)

@@ -25,7 +25,7 @@ interface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.interface import HwInterface
 from repro.hw.messaging import ManagerTileHw

@@ -11,11 +11,19 @@ through it.
 """
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentInfo,
+    experiment_description,
+    get_experiment,
+    list_experiments,
+)
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentInfo",
     "EXPERIMENTS",
+    "experiment_description",
     "get_experiment",
     "list_experiments",
 ]

@@ -24,7 +24,36 @@ import time
 from typing import List, Optional
 
 from repro.runner import default_cache_dir, detect_jobs, get_config, overrides
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    experiment_description,
+    get_experiment,
+    list_experiments,
+)
+
+#: Friendly aliases accepted on the command line.
+ALIASES = {"rack": "fig_rack"}
+
+
+class UnknownExperimentError(ValueError):
+    """Raised when the requested experiment id is not registered."""
+
+
+def resolve_ids(experiment: str) -> List[str]:
+    """Expand the CLI's experiment argument into registered ids.
+
+    ``"all"`` expands to every id; aliases (``rack`` -> ``fig_rack``)
+    are resolved; anything unregistered raises
+    :class:`UnknownExperimentError`.
+    """
+    if experiment == "all":
+        return list_experiments()
+    exp_id = ALIASES.get(experiment, experiment)
+    if exp_id not in list_experiments():
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment!r}\n"
+            f"available: {' '.join(list_experiments())} (or 'all')"
+        )
+    return [exp_id]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -35,7 +64,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig10) or 'all'",
+        help="experiment id (e.g. fig10), an alias (rack), or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -81,7 +110,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        print("\n".join(list_experiments()))
+        width = max(len(exp_id) for exp_id in list_experiments())
+        print("\n".join(
+            f"{exp_id:<{width}}  {experiment_description(exp_id)}"
+            for exp_id in list_experiments()
+        ))
         return 0
 
     if args.jobs < 0:
@@ -97,14 +130,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    ids = list_experiments() if args.experiment == "all" else [args.experiment]
-    unknown = [exp_id for exp_id in ids if exp_id not in list_experiments()]
-    if unknown:
-        print(
-            f"error: unknown experiment {unknown[0]!r}\n"
-            f"available: {' '.join(list_experiments())} (or 'all')",
-            file=sys.stderr,
-        )
+    try:
+        ids = resolve_ids(args.experiment)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
     with overrides(

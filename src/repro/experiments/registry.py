@@ -1,4 +1,4 @@
-"""The experiment registry: id -> run function.
+"""The experiment registry: id -> (module, description, run function).
 
 Lazily imports experiment modules so ``import repro`` stays cheap.
 """
@@ -6,27 +6,87 @@ Lazily imports experiment modules so ``import repro`` stays cheap.
 from __future__ import annotations
 
 import importlib
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.experiments.common import ExperimentResult
 
-#: Experiment id -> module path (each module exposes ``run``).
-EXPERIMENTS: Dict[str, str] = {
-    "fig01": "repro.experiments.fig01_stack_latency",
-    "fig03": "repro.experiments.fig03_overhead",
-    "tab1": "repro.experiments.tab1_comparison",
-    "fig07": "repro.experiments.fig07_prediction",
-    "fig09": "repro.experiments.fig09_imbalance",
-    "fig10": "repro.experiments.fig10_comparison",
-    "fig11": "repro.experiments.fig11_parameters",
-    "fig12": "repro.experiments.fig12_effectiveness",
-    "fig13": "repro.experiments.fig13_scalability",
-    "fig14": "repro.experiments.fig14_endtoend",
-    "tab2_tab3": "repro.experiments.tab2_tab3",
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry entry: where an experiment lives and what it shows."""
+
+    module: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.description.strip():
+            raise ValueError(f"experiment {self.module} needs a description")
+
+
+#: Experiment id -> module + one-line description (each module exposes
+#: ``run(scale, seed)``).
+EXPERIMENTS: Dict[str, ExperimentInfo] = {
+    "fig01": ExperimentInfo(
+        "repro.experiments.fig01_stack_latency",
+        "on-CPU latency: processing vs scheduling across stack generations",
+    ),
+    "fig03": ExperimentInfo(
+        "repro.experiments.fig03_overhead",
+        "sustainable load vs per-request scheduling overhead (64 cores)",
+    ),
+    "tab1": ExperimentInfo(
+        "repro.experiments.tab1_comparison",
+        "design-space comparison of the eight implemented systems",
+    ),
+    "fig07": ExperimentInfo(
+        "repro.experiments.fig07_prediction",
+        "SLO-violation prediction: threshold analysis and calibration",
+    ),
+    "fig09": ExperimentInfo(
+        "repro.experiments.fig09_imbalance",
+        "NetRX queue imbalance under load-oblivious NIC steering",
+    ),
+    "fig10": ExperimentInfo(
+        "repro.experiments.fig10_comparison",
+        "latency-throughput curves: AC variants vs all baselines",
+    ),
+    "fig11": ExperimentInfo(
+        "repro.experiments.fig11_parameters",
+        "migration-parameter sensitivity (period, bulk, concurrency)",
+    ),
+    "fig12": ExperimentInfo(
+        "repro.experiments.fig12_effectiveness",
+        "migration effectiveness breakdown via counterfactual ETAs",
+    ),
+    "fig13": ExperimentInfo(
+        "repro.experiments.fig13_scalability",
+        "MICA scalability, case studies, SLO-target sensitivity",
+    ),
+    "fig14": ExperimentInfo(
+        "repro.experiments.fig14_endtoend",
+        "end-to-end MICA KVS latency-throughput comparison",
+    ),
+    "tab2_tab3": ExperimentInfo(
+        "repro.experiments.tab2_tab3",
+        "hardware cost model: area, power, and interface latencies",
+    ),
     # Not paper artifacts: the design-choice ablations DESIGN.md lists,
-    # and the closed-form queueing validation behind every measurement.
-    "ablations": "repro.experiments.ablations",
-    "validation": "repro.experiments.validation",
+    # the closed-form queueing validation behind every measurement, and
+    # the rack-scale cluster tier that grows the reproduction beyond one
+    # server.
+    "ablations": ExperimentInfo(
+        "repro.experiments.ablations",
+        "design-choice ablations over the Altocumulus mechanism set",
+    ),
+    "validation": ExperimentInfo(
+        "repro.experiments.validation",
+        "closed-form queueing validation (M/M/1, M/D/1, M/G/1, M/M/k)",
+    ),
+    "fig_rack": ExperimentInfo(
+        "repro.experiments.fig_rack",
+        "rack-scale tier: servers x load x inter-server steering policy",
+    ),
 }
 
 
@@ -35,11 +95,20 @@ def list_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
+def experiment_description(exp_id: str) -> str:
+    """One-line description of a registered experiment."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[exp_id].description
+
+
 def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
     """Resolve an experiment id to its ``run(scale, seed)`` function."""
     if exp_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {exp_id!r}; choose from {', '.join(EXPERIMENTS)}"
         )
-    module = importlib.import_module(EXPERIMENTS[exp_id])
+    module = importlib.import_module(EXPERIMENTS[exp_id].module)
     return module.run

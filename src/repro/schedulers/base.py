@@ -75,6 +75,10 @@ class RpcSystem(abc.ABC):
         #: Called with each completing request (application execution for
         #: systems without an in-band execution hook).
         self.completion_hooks: List = []
+        #: Called with each dropped request (bounded-queue overflow).
+        #: The cluster tier uses this to observe per-server terminations
+        #: without owning the scheduler's internals.
+        self.drop_hooks: List = []
 
     # ------------------------------------------------------------------
     # Load-generator interface
@@ -127,6 +131,8 @@ class RpcSystem(abc.ABC):
         """Drop a request (bounded-queue overflow)."""
         request.dropped = True
         self.stats.dropped += 1
+        for hook in self.drop_hooks:
+            hook(request)
         self._check_done()
 
     def _check_done(self) -> None:

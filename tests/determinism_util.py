@@ -22,8 +22,12 @@ from typing import Dict
 from repro.api import quick_run
 
 #: The systems the golden file covers (d-FCFS, JBSQ, RSS++,
-#: work stealing, Altocumulus).
-GOLDEN_SYSTEMS = ("rss", "rpcvalet", "rsspp", "zygos", "altocumulus")
+#: work stealing, Altocumulus) plus the rack-scale cluster tier.  The
+#: five single-server entries were captured from the pre-optimization
+#: engine; the "rack" entry was captured when the cluster tier was
+#: introduced and pins switch timing, steering decisions, and per-server
+#: stream spawning ever since.
+GOLDEN_SYSTEMS = ("rss", "rpcvalet", "rsspp", "zygos", "altocumulus", "rack")
 
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that

@@ -1,13 +1,12 @@
 """Integration tests for the full Altocumulus system."""
 
-import pytest
 
 from repro.api import run_workload
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
 from repro.workload.connections import ConnectionPool
-from repro.workload.service import Exponential, Fixed
+from repro.workload.service import Fixed
 from tests.conftest import make_request
 
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
-from repro.sim.engine import Simulator
-from repro.sim.rng import RandomStreams
 from tests.conftest import make_request
 
 

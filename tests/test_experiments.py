@@ -9,7 +9,13 @@ from repro.experiments.common import (
     scaled,
     throughput_at_slo,
 )
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentInfo,
+    experiment_description,
+    get_experiment,
+    list_experiments,
+)
 
 #: Tiny-scale smoke runs; heavier experiments are exercised by the
 #: benchmark suite with real budgets.
@@ -21,7 +27,7 @@ class TestRegistry:
         assert list_experiments() == [
             "fig01", "fig03", "tab1", "fig07", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14",
-            "tab2_tab3", "ablations", "validation",
+            "tab2_tab3", "ablations", "validation", "fig_rack",
         ]
 
     def test_unknown_experiment_rejected(self):
@@ -31,6 +37,44 @@ class TestRegistry:
     def test_every_experiment_resolves_to_runnable(self):
         for exp_id in list_experiments():
             assert callable(get_experiment(exp_id))
+
+    def test_every_experiment_has_a_description(self):
+        for exp_id in list_experiments():
+            assert experiment_description(exp_id).strip()
+
+    def test_description_of_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            experiment_description("fig99")
+
+    def test_blank_description_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="description"):
+            ExperimentInfo("repro.experiments.fig01_stack_latency", "   ")
+
+    def test_registry_modules_are_importable_paths(self):
+        for exp_id, info in EXPERIMENTS.items():
+            assert info.module.startswith("repro.experiments."), exp_id
+
+    def test_every_registered_id_resolves_via_the_cli(self):
+        from repro.experiments.cli import resolve_ids
+
+        for exp_id in list_experiments():
+            assert resolve_ids(exp_id) == [exp_id]
+
+    def test_cli_all_expands_to_every_id(self):
+        from repro.experiments.cli import resolve_ids
+
+        assert resolve_ids("all") == list_experiments()
+
+    def test_cli_rack_alias_resolves(self):
+        from repro.experiments.cli import resolve_ids
+
+        assert resolve_ids("rack") == ["fig_rack"]
+
+    def test_cli_unknown_id_raises_cleanly(self):
+        from repro.experiments.cli import UnknownExperimentError, resolve_ids
+
+        with pytest.raises(UnknownExperimentError, match="fig99"):
+            resolve_ids("fig99")
 
 
 class TestRuns:

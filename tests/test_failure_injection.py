@@ -9,8 +9,6 @@ from repro.core.config import AltocumulusConfig
 from repro.core.scheduler import AltocumulusSystem
 from repro.hw.constants import HwConstants
 from repro.schedulers.jbsq import ideal_cfcfs
-from repro.sim.engine import Simulator
-from repro.sim.rng import RandomStreams
 from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
 from repro.workload.connections import ConnectionPool
 from repro.workload.service import Fixed
