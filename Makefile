@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples smoke sweep-fast rack-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,18 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+
+## Regression gate: re-run the two gated microbenchmarks and fail if
+## stats.min regressed >2% against BENCH_BASELINE (a same-machine
+## pytest-benchmark JSON; defaults to the committed baseline).
+BENCH_BASELINE ?= BENCH_20260806T213941Z.json
+BENCH_GATED = test_event_heap_throughput,test_full_system_simulation_rate
+bench-gate:
+	$(PYTHON) -m pytest benchmarks/test_engine_perf.py --benchmark-only -q \
+		-k "event_heap_throughput or full_system_simulation_rate" \
+		--benchmark-json=BENCH_gate_candidate.json
+	$(PYTHON) tools/compare_bench.py $(BENCH_BASELINE) \
+		BENCH_gate_candidate.json --benchmarks $(BENCH_GATED)
 
 ## Full-scale regeneration of every paper artifact (30-45 min).
 artifacts:

@@ -13,7 +13,7 @@ behind three calls:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.analysis.metrics import (
     LatencySummary,
@@ -33,6 +33,7 @@ from repro.schedulers.rss_plus_plus import RssPlusPlusSystem
 from repro.schedulers.work_stealing import ZygosSystem
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry import record_run
 from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
 from repro.workload.connections import ConnectionPool
 from repro.workload.generator import LoadGenerator
@@ -56,6 +57,9 @@ class SimulationResult:
     utilization: float
     dropped: int
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Flat snapshot of the system's telemetry registry at shutdown
+    #: (``system.*``, ``noc.*``, ``messaging.m<i>.*``, ``cluster.*``...).
+    metrics: Dict[str, Any] = field(default_factory=dict)
     #: The system instance, for post-run introspection (e.g. the
     #: Altocumulus ``predicted_ids`` set feeding prediction accuracy).
     system: Optional[RpcSystem] = None
@@ -176,6 +180,9 @@ def run_workload(
     sim.run(until=_MAX_HORIZON_NS)
     system.shutdown()
     measured = generator.measured_requests()
+    registry = getattr(system, "metrics", None)
+    metrics_snapshot = registry.snapshot() if registry is not None else {}
+    record_run(system.name, metrics_snapshot)
     return SimulationResult(
         system_name=system.name,
         requests=measured,
@@ -186,6 +193,7 @@ def run_workload(
         utilization=system.utilization(sim.now),
         dropped=system.stats.dropped,
         extra=dict(system.stats.extra),
+        metrics=metrics_snapshot,
         system=system,
     )
 

@@ -8,19 +8,25 @@ steering decide -- so this module turns a finished
 * :func:`imbalance_index` -- max/mean of any per-server quantity (1.0 is
   perfect balance; N is everything-on-one-server for an N-server rack).
 * :func:`per_server_latency` -- one :class:`LatencySummary` per server.
-* :func:`cluster_summary` -- the flat ``dict`` of floats the rack stuffs
-  into ``stats.extra`` at shutdown, so every sweep point carries its
-  cluster metrics through the runner cache for free.
+* :func:`register_cluster_instruments` -- bind the same quantities into
+  the rack's :class:`~repro.telemetry.MetricRegistry` as live
+  ``cluster.*`` instruments.
+* :func:`cluster_summary` -- the flat ``dict`` the rack writes through
+  its ``stats.scoped("cluster")`` adapter at shutdown, so every sweep
+  point carries its cluster metrics through the runner cache for free.
+  Pure counts stay ints; only genuinely fractional quantities are
+  floats.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 from repro.analysis.metrics import LatencySummary, summarize_latencies
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.topology import RackCluster
+    from repro.telemetry import MetricRegistry
 
 
 def imbalance_index(counts: Sequence[float]) -> float:
@@ -56,8 +62,8 @@ def per_server_utilization(rack: "RackCluster", elapsed_ns: float) -> List[float
     return [server.utilization(elapsed_ns) for server in rack.servers]
 
 
-def cluster_summary(rack: "RackCluster") -> Dict[str, float]:
-    """Flat float-valued metrics for ``stats.extra`` (runner-cacheable).
+def cluster_summary(rack: "RackCluster") -> Dict[str, Union[int, float]]:
+    """Flat metrics the rack writes via ``stats.scoped("cluster")``.
 
     Keys:
 
@@ -68,19 +74,58 @@ def cluster_summary(rack: "RackCluster") -> Dict[str, float]:
     * ``switch_dropped`` / ``switch_queue_wait_ns`` -- ToR accounting.
     * ``steer_refreshes`` (power-of-d) / ``steer_samples``
       (shortest-wait) -- how much telemetry the policy consumed.
+
+    Counts are ints (a JSON reader sees ``steer_srv0: 812``, not
+    ``812.0``); ratios and cumulative times are floats.
     """
-    summary: Dict[str, float] = {
+    summary: Dict[str, Union[int, float]] = {
         "imbalance_index": imbalance_index(per_server_completed(rack)),
         "steer_imbalance": imbalance_index(rack.policy.decisions),
-        "switch_dropped": float(rack.switch.dropped),
+        "switch_dropped": int(rack.switch.dropped),
         "switch_queue_wait_ns": rack.switch.queue_wait_ns,
     }
     for i, count in enumerate(rack.policy.decisions):
-        summary[f"steer_srv{i}"] = float(count)
+        summary[f"steer_srv{i}"] = int(count)
     refreshes = getattr(rack.policy, "refreshes", None)
     if refreshes is not None:
-        summary["steer_refreshes"] = float(refreshes)
+        summary["steer_refreshes"] = int(refreshes)
     samples = getattr(rack.policy, "samples_taken", None)
     if samples is not None:
-        summary["steer_samples"] = float(samples)
+        summary["steer_samples"] = int(samples)
     return summary
+
+
+def register_cluster_instruments(
+    rack: "RackCluster", registry: "MetricRegistry"
+) -> None:
+    """Bind live ``cluster.*`` instruments for a rack into ``registry``.
+
+    Complements :func:`cluster_summary`: the summary is a one-shot dict
+    for the legacy ``extra`` channel, while these instruments read the
+    same live state at every registry snapshot.
+    """
+    registry.gauge(
+        "cluster.imbalance_index",
+        fn=lambda: imbalance_index(per_server_completed(rack)),
+    )
+    registry.gauge(
+        "cluster.steer_imbalance",
+        fn=lambda: imbalance_index(rack.policy.decisions),
+    )
+    for i in range(len(rack.servers)):
+        registry.counter(
+            f"cluster.steer_srv{i}",
+            fn=lambda i=i: int(rack.policy.decisions[i]),
+        )
+    refreshes = getattr(rack.policy, "refreshes", None)
+    if refreshes is not None:
+        registry.counter(
+            "cluster.steer_refreshes",
+            fn=lambda: int(rack.policy.refreshes),
+        )
+    samples = getattr(rack.policy, "samples_taken", None)
+    if samples is not None:
+        registry.counter(
+            "cluster.steer_samples",
+            fn=lambda: int(rack.policy.samples_taken),
+        )

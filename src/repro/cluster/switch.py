@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.sim.engine import Simulator
+from repro.telemetry import trace_sink
 from repro.workload.request import Request
 
 #: Default downlink bandwidth: a 100 GbE port moves one bit per
@@ -101,6 +102,19 @@ class ToRSwitch:
         self.dropped_per_port: List[int] = [0] * self.n_ports
         #: Cumulative ns requests spent waiting for their port serializer.
         self.queue_wait_ns: float = 0.0
+        self._trace = trace_sink()
+
+    def register_metrics(self, registry, prefix: str = "cluster.switch") -> None:
+        """Register bound ToR accounting instruments into ``registry``."""
+        registry.counter(f"{prefix}.forwarded", fn=lambda: self.forwarded)
+        registry.counter(f"{prefix}.dropped", fn=lambda: self.dropped)
+        registry.counter(
+            f"{prefix}.queue_wait_ns", fn=lambda: self.queue_wait_ns
+        )
+        registry.gauge(
+            f"{prefix}.dropped_per_port",
+            fn=lambda: list(self.dropped_per_port),
+        )
 
     # ------------------------------------------------------------------
     def serialization_ns(self, size_bytes: int) -> float:
@@ -124,6 +138,9 @@ class ToRSwitch:
             self.dropped += 1
             self.dropped_per_port[port] += 1
             request.dropped = True
+            trace = self._trace
+            if trace.enabled and trace.sampled(request.req_id):
+                trace.mark(request.req_id, "dropped", self.sim.now)
             if self.on_drop is not None:
                 self.on_drop(request, port)
             return False
@@ -135,6 +152,14 @@ class ToRSwitch:
         done = start + self.serialization_ns(request.size_bytes)
         self._free_at[port] = done
         self._occupancy[port] += 1
+        trace = self._trace
+        if trace.enabled:
+            # Every endpoint of this request's switch transit is known
+            # here; the server's own marks pick up at delivery time.
+            if trace.sampled(request.req_id):
+                trace.mark(request.req_id, "tor_queue", now)
+                trace.mark(request.req_id, "tor_tx", start)
+            trace.span("tor", port, "tx", start, done)
         self.sim.schedule(done - now, self._tx_done, request, port, deliver)
         return True
 

@@ -44,6 +44,7 @@ from repro.cluster.switch import (
 from repro.schedulers.base import RpcSystem, SystemStats
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry import MetricRegistry
 from repro.workload.request import Request
 
 
@@ -125,7 +126,9 @@ class RackCluster:
             f"rack[{config.n_servers}x{config.system}"
             f"x{config.cores_per_server}/{config.policy}]"
         )
-        self.stats = SystemStats()
+        self.metrics = MetricRegistry()
+        sim.register_metrics(self.metrics)
+        self.stats = SystemStats(self.metrics)
         self.switch = ToRSwitch(
             sim,
             n_ports=config.n_servers,
@@ -147,9 +150,14 @@ class RackCluster:
         )
         self._expected: Optional[int] = None
         self._deliver = [server.offer for server in self.servers]
-        for server in self.servers:
+        self.switch.register_metrics(self.metrics)
+        cluster_metrics.register_cluster_instruments(self, self.metrics)
+        for i, server in enumerate(self.servers):
             server.completion_hooks.append(self._server_completed)
             server.drop_hooks.append(self._server_dropped)
+            child = getattr(server, "metrics", None)
+            if child is not None:
+                self.metrics.attach_child(f"srv{i}", child)
         self.policy.start()
 
     # ------------------------------------------------------------------
@@ -221,12 +229,15 @@ class RackCluster:
         return busy / (elapsed_ns * total_cores)
 
     def shutdown(self) -> None:
-        """Stop periodic machinery and distill cluster metrics into
-        ``stats.extra`` (they travel with every sweep result)."""
+        """Stop periodic machinery and distill cluster metrics into the
+        ``cluster.*`` namespace of ``stats.extra`` (they travel with
+        every sweep result)."""
         self.policy.shutdown()
         for server in self.servers:
             server.shutdown()
-        self.stats.extra.update(cluster_metrics.cluster_summary(self))
+        scoped = self.stats.scoped("cluster")
+        for key, value in cluster_metrics.cluster_summary(self).items():
+            scoped.put(key, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -78,6 +78,7 @@ class AltocumulusSystem(RpcSystem):
             self.topology,
             per_hop_ns=constants.noc_hop_ns,
             link_contention=config.noc_link_contention,
+            registry=self.metrics,
         )
         self.steering = RssSteering(
             g, policy=config.steering_policy, rng=streams.get("rss")
@@ -98,6 +99,16 @@ class AltocumulusSystem(RpcSystem):
         self._tick_running = False
         #: Requests ever selected for migration (prediction-accuracy metric).
         self.predicted_ids: Set[int] = set()
+        # Scheduler-level instruments (the former ad-hoc ``extra`` keys).
+        self._m_desc_received = self.metrics.counter(
+            "sched.descriptors_received"
+        )
+        self._m_sw_migrate = self.metrics.counter(
+            "sched.sw_migrate_descriptors"
+        )
+        self.metrics.gauge(
+            "sched.predicted_unique", fn=lambda: len(self.predicted_ids)
+        )
 
         for group in range(g):
             tile = group * config.group_size  # the manager's mesh tile
@@ -113,6 +124,7 @@ class AltocumulusSystem(RpcSystem):
                 migrator_ns_per_entry=(
                     constants.coherence_msg_ns if config.messaging == "sw" else 0.5
                 ),
+                registry=self.metrics,
             )
             self.managers.append(hw)
             self.occupancy.append([0] * config.workers_per_group)
@@ -204,6 +216,9 @@ class AltocumulusSystem(RpcSystem):
         if not mrs.enqueue(request):
             self._drop(request)  # bounded MR file overflowed
             return
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "netrx_queue", self.sim.now)
         self._pump_group(group)
 
     # ------------------------------------------------------------------
@@ -214,6 +229,8 @@ class AltocumulusSystem(RpcSystem):
         mrs = self.managers[group].mrs
         entries = mrs.entries
         occ = self.occupancy[group]
+        trace = self.trace
+        tracing = trace.enabled
         while entries:
             worker = self._least_occupied(occ, cfg.worker_bound)
             if worker is None:
@@ -223,6 +240,8 @@ class AltocumulusSystem(RpcSystem):
             self._occ_total[group] += 1
             delay = self._dispatch_delay(group, worker)
             self._charge_scheduling(delay)
+            if tracing and trace.sampled(request.req_id):
+                trace.mark(request.req_id, "dispatch", self.sim.now)
             self.sim.schedule(delay, self._arrive_at_worker, group, worker, request)
 
     @staticmethod
@@ -257,12 +276,18 @@ class AltocumulusSystem(RpcSystem):
 
     def _arrive_at_worker(self, group: int, worker: int, request: Request) -> None:
         core = self._worker_cores[group][worker]
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "worker_queue", self.sim.now)
         if core.busy:
             self.local_wait[group][worker].append(request)
         else:
             self._start(core, request)
 
     def _start(self, core: Core, request: Request) -> None:
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "service", self.sim.now)
         startup = 0.0
         if self.execution_penalty is not None:
             startup = self.execution_penalty(request)
@@ -299,8 +324,12 @@ class AltocumulusSystem(RpcSystem):
         )
 
     def _flag_predicted(self, group: int, count: int) -> None:
+        trace = self.trace
+        tracing = trace.enabled
         for request in self.managers[group].mrs.peek_tail(count):
             self.predicted_ids.add(request.req_id)
+            if tracing and trace.sampled(request.req_id):
+                trace.mark(request.req_id, "predicted", self.sim.now)
 
     def _take_batch(self, group: int, size: int) -> List[Request]:
         """Pop migration-eligible descriptors from the NetRX tail and
@@ -317,6 +346,8 @@ class AltocumulusSystem(RpcSystem):
         workers = max(1, cfg.workers_per_group)
         mean_service = self.estimators[group].mean_service_ns or 0.0
         ahead = len(mrs) + self._occ_total[group]
+        trace = self.trace
+        tracing = trace.enabled
         for offset, request in enumerate(batch):
             if request.no_migration_eta is None:
                 est_wait = (ahead + offset) / workers * mean_service
@@ -324,6 +355,8 @@ class AltocumulusSystem(RpcSystem):
                     self.sim.now + est_wait + request.service_time
                 )
             self.predicted_ids.add(request.req_id)
+            if tracing and trace.sampled(request.req_id):
+                trace.mark(request.req_id, "migrate", self.sim.now)
         return batch
 
     def _send_migrate(self, group: int, dst: int, batch: List[Request]) -> bool:
@@ -337,7 +370,7 @@ class AltocumulusSystem(RpcSystem):
             self._charge_manager(
                 group, len(batch) * self.constants.coherence_msg_ns
             )
-            self.stats.bump("sw_migrate_descriptors", len(batch))
+            self._m_sw_migrate.value += len(batch)
         return self.managers[group].send_migrate(dst, batch)
 
     def _restore_batch(self, group: int, batch: List[Request]) -> None:
@@ -364,9 +397,13 @@ class AltocumulusSystem(RpcSystem):
     # ------------------------------------------------------------------
     def _make_on_migrate_in(self, group: int):
         def on_migrate_in(requests: List[Request], src: int) -> None:
-            self.stats.bump("descriptors_received")
+            self._m_desc_received.value += len(requests)
+            trace = self.trace
+            tracing = trace.enabled
             for request in requests:
                 request.group_id = group  # now owned by this manager
+                if tracing and trace.sampled(request.req_id):
+                    trace.mark(request.req_id, "migrated_netrx", self.sim.now)
             self._pump_group(group)
 
         return on_migrate_in

@@ -99,6 +99,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="suppress live sweep progress on stderr",
     )
     parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export per-request lifecycle spans as Chrome trace-event "
+             "JSON (chrome://tracing / Perfetto); implies --jobs 1 and "
+             "--no-cache so every run executes in-process",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="with --trace: record every Nth request (default 1 = all)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write every run's telemetry-registry snapshot as JSON; "
+             "implies --jobs 1 and --no-cache",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the 25 hottest functions by "
              "cumulative time after each experiment (implies --jobs 1 so "
@@ -136,8 +151,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    with overrides(
-        jobs=1 if args.profile else args.jobs,
+    capturing = args.trace is not None or args.metrics_out is not None
+    if capturing:
+        # Worker processes have their own (inactive) capture globals and
+        # cached points replay without executing, so telemetry capture
+        # requires fresh in-process execution.
+        if args.jobs not in (0, 1):
+            print("[--trace/--metrics-out force --jobs 1]", file=sys.stderr)
+        args.jobs = 1
+        args.no_cache = True
+    if args.trace is not None and args.trace_sample < 1:
+        print(f"error: --trace-sample must be >= 1, got {args.trace_sample}",
+              file=sys.stderr)
+        return 2
+
+    from repro.telemetry import TraceSink, capture
+
+    sink = TraceSink(sample_every=args.trace_sample) if args.trace else None
+
+    with capture(trace=sink, collect_metrics=args.metrics_out is not None) \
+            as cap, overrides(
+        jobs=1 if (args.profile or capturing) else args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=not args.no_progress,
@@ -175,6 +209,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"[wrote {path}]\n")
                 if args.json:
                     print(f"[wrote {result.save_json(args.out)}]\n")
+
+    if args.trace is not None:
+        sink.export_chrome(args.trace)
+        print(f"[wrote {args.trace}: {len(sink)} trace events"
+              f"{f', {sink.dropped_events} overwritten' if sink.dropped_events else ''}]")
+    if args.metrics_out is not None:
+        import json
+
+        with open(args.metrics_out, "w") as handle:
+            json.dump({"runs": cap.runs}, handle, indent=2, sort_keys=True)
+        print(f"[wrote {args.metrics_out}: {len(cap.runs)} run snapshots]")
     return 0
 
 

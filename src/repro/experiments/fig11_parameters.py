@@ -86,7 +86,7 @@ def _row(label: str, knob: object, point) -> List[object]:
         knob,
         point.metrics["violations"],
         point.latency.p99 / 1000.0,
-        point.extra.get("descriptors_received", 0.0),
+        point.instruments.get("sched.descriptors_received", 0),
     ]
 
 

@@ -144,7 +144,7 @@ def run(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
                     round(p99_us, 2),
                     round(point.mean_ns / 1000.0, 2),
                     round(point.throughput_rps / 1e6, 2),
-                    round(point.extra.get("imbalance_index", 0.0), 3),
+                    round(point.instruments.get("cluster.imbalance_index", 0.0), 3),
                     point.violation_ratio or 0.0,
                     point.dropped,
                 ])

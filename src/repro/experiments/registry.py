@@ -27,6 +27,10 @@ class ExperimentInfo:
 #: Experiment id -> module + one-line description (each module exposes
 #: ``run(scale, seed)``).
 EXPERIMENTS: Dict[str, ExperimentInfo] = {
+    "quickstart": ExperimentInfo(
+        "repro.experiments.quickstart",
+        "telemetry smoke run: one small server, registry + trace demo",
+    ),
     "fig01": ExperimentInfo(
         "repro.experiments.fig01_stack_latency",
         "on-CPU latency: processing vs scheduling across stack generations",

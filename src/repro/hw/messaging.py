@@ -32,6 +32,7 @@ from repro.sim.engine import Simulator
 from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
 from repro.hw.noc import Noc, NocMessage
 from repro.hw.registers import HardwareFifo, MigrationRegisterFile, ParameterRegisters
+from repro.telemetry import MetricRegistry
 from repro.workload.request import Request
 
 #: Virtual network reserved for Altocumulus traffic (Sec. V-B).
@@ -75,7 +76,11 @@ class _Payload:
 
 @dataclass
 class MessagingStats:
-    """Per-tile protocol counters."""
+    """Point-in-time view of one tile's protocol counters.
+
+    Snapshot of the registry-owned instruments; read via
+    :attr:`ManagerTileHw.stats`.
+    """
 
     migrates_sent: int = 0
     migrates_acked: int = 0
@@ -85,6 +90,19 @@ class MessagingStats:
     updates_sent: int = 0
     updates_received: int = 0
     send_backpressure: int = 0
+
+
+#: Counter suffixes registered per tile, in MessagingStats field order.
+_TILE_COUNTERS = (
+    "migrates_sent",
+    "migrates_acked",
+    "migrates_nacked",
+    "descriptors_sent",
+    "descriptors_accepted",
+    "updates_sent",
+    "updates_received",
+    "send_backpressure",
+)
 
 
 class ManagerTileHw:
@@ -109,6 +127,7 @@ class ManagerTileHw:
         on_update: Optional[Callable[[int, int], None]] = None,
         on_migrate_rejected: Optional[Callable[[List[Request], int], None]] = None,
         migrator_ns_per_entry: float = 0.5,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.sim = sim
         self.noc = noc
@@ -125,7 +144,25 @@ class ManagerTileHw:
         self.on_update = on_update
         self.on_migrate_rejected = on_migrate_rejected
         self.migrator_ns_per_entry = float(migrator_ns_per_entry)
-        self.stats = MessagingStats()
+        # Protocol accounting lives in owned registry instruments under
+        # a per-tile namespace; a standalone tile gets a private
+        # registry.  Bumping a slotted instrument's ``value`` costs the
+        # same as the old dataclass field increments.
+        self.registry = registry if registry is not None else MetricRegistry()
+        prefix = f"messaging.m{self.manager_index}"
+        (
+            self._m_migrates_sent,
+            self._m_migrates_acked,
+            self._m_migrates_nacked,
+            self._m_descriptors_sent,
+            self._m_descriptors_accepted,
+            self._m_updates_sent,
+            self._m_updates_received,
+            self._m_send_backpressure,
+        ) = [
+            self.registry.counter(f"{prefix}.{suffix}")
+            for suffix in _TILE_COUNTERS
+        ]
         self._peers: Dict[int, "ManagerTileHw"] = {}
         self._others: List["ManagerTileHw"] = []
         self._pending_acks: Dict[int, List[Request]] = {}
@@ -164,7 +201,7 @@ class ManagerTileHw:
         if not requests:
             return True
         if self.send_fifo.free_slots() < len(requests):
-            self.stats.send_backpressure += 1
+            self._m_send_backpressure.value += 1
             return False
         for r in requests:
             self.send_fifo.push(r)
@@ -194,8 +231,8 @@ class ManagerTileHw:
                 vnet=ALTOCUMULUS_VNET,
             ),
         )
-        self.stats.migrates_sent += 1
-        self.stats.descriptors_sent += len(requests)
+        self._m_migrates_sent.value += 1
+        self._m_descriptors_sent.value += len(requests)
         return True
 
     def broadcast_update(self, queue_len: int) -> None:
@@ -217,7 +254,7 @@ class ManagerTileHw:
                 ),
                 self._deliver,
             )
-            self.stats.updates_sent += 1
+            self._m_updates_sent.value += 1
 
     # ------------------------------------------------------------------
     # Hardware internals
@@ -242,7 +279,7 @@ class ManagerTileHw:
                 f"delivered to {self.manager_index}"
             )
         if payload.kind is MessageType.UPDATE:
-            self.stats.updates_received += 1
+            self._m_updates_received.value += 1
             self.prs.queue_lengths = list(self.prs.queue_lengths)
             if self.on_update is not None:
                 self.on_update(payload.src_manager, payload.queue_len)
@@ -275,7 +312,7 @@ class ManagerTileHw:
         for r in payload.requests:
             r.migrations += 1
             self.mrs.enqueue(r)
-        self.stats.descriptors_accepted += len(payload.requests)
+        self._m_descriptors_accepted.value += len(payload.requests)
         self._reply(payload, MessageType.ACK)
         if self.on_migrate_in is not None:
             self.on_migrate_in(payload.requests, payload.src_manager)
@@ -308,18 +345,32 @@ class ManagerTileHw:
                 f"unknown migrate id {payload.migrate_id}"
             )
         if payload.kind is MessageType.ACK:
-            self.stats.migrates_acked += 1
+            self._m_migrates_acked.value += 1
             return
         # NACK: the destination rejected the batch; restore it locally.
         # The slots are still logically reserved at the source, so the
         # restore bypasses the capacity check.
-        self.stats.migrates_nacked += 1
+        self._m_migrates_nacked.value += 1
         for r in pending:
             self.mrs.enqueue_reserved(r)
         if self.on_migrate_rejected is not None:
             self.on_migrate_rejected(pending, payload.src_manager)
 
     # ------------------------------------------------------------------
+    @property
+    def stats(self) -> MessagingStats:
+        """Snapshot of this tile's registry instruments."""
+        return MessagingStats(
+            migrates_sent=self._m_migrates_sent.value,
+            migrates_acked=self._m_migrates_acked.value,
+            migrates_nacked=self._m_migrates_nacked.value,
+            descriptors_sent=self._m_descriptors_sent.value,
+            descriptors_accepted=self._m_descriptors_accepted.value,
+            updates_sent=self._m_updates_sent.value,
+            updates_received=self._m_updates_received.value,
+            send_backpressure=self._m_send_backpressure.value,
+        )
+
     @property
     def in_flight_descriptors(self) -> int:
         """Descriptors sent but not yet ACKed/NACKed."""

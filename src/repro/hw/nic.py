@@ -27,11 +27,30 @@ from repro.workload.request import Request
 
 
 class DeliveryModel(abc.ABC):
-    """Latency from NIC wire arrival to scheduler visibility."""
+    """Latency from NIC wire arrival to scheduler visibility.
+
+    Concrete models keep two running counters -- requests delivered and
+    total delivery latency charged -- exposed to a telemetry registry as
+    bound ``nic.*`` instruments via :meth:`register_metrics`.
+    """
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.delivery_ns_total = 0.0
 
     @abc.abstractmethod
     def delivery_ns(self, request: Request) -> float:
         """Per-request NIC -> host delivery latency in ns."""
+
+    def register_metrics(self, registry, prefix: str = "nic") -> None:
+        """Register bound delivery counters into ``registry``."""
+        registry.counter(
+            f"{prefix}.delivered", fn=lambda: getattr(self, "delivered", 0)
+        )
+        registry.counter(
+            f"{prefix}.delivery_ns_total",
+            fn=lambda: getattr(self, "delivery_ns_total", 0.0),
+        )
 
 
 class HwTerminatedDelivery(DeliveryModel):
@@ -39,10 +58,14 @@ class HwTerminatedDelivery(DeliveryModel):
     interpretation, ~30 ns total (nanoPU/Nebula style)."""
 
     def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
+        super().__init__()
         self.constants = constants
 
     def delivery_ns(self, request: Request) -> float:
-        return self.constants.nic_terminate_ns
+        ns = self.constants.nic_terminate_ns
+        self.delivered += 1
+        self.delivery_ns_total += ns
+        return ns
 
 
 class PcieDelivery(DeliveryModel):
@@ -50,13 +73,21 @@ class PcieDelivery(DeliveryModel):
     PCIe transfer (200-800 ns)."""
 
     def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
+        super().__init__()
         self.constants = constants
         self._pcie = PcieLink(constants)
 
     def delivery_ns(self, request: Request) -> float:
-        return self.constants.nic_terminate_ns + self._pcie.transfer_ns(
+        ns = self.constants.nic_terminate_ns + self._pcie.transfer_ns(
             request.size_bytes
         )
+        self.delivered += 1
+        self.delivery_ns_total += ns
+        return ns
+
+    def register_metrics(self, registry, prefix: str = "nic") -> None:
+        super().register_metrics(registry, prefix)
+        self._pcie.register_metrics(registry, prefix=f"{prefix}.pcie")
 
 
 class RssSteering:

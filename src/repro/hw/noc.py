@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.hw.topology import MeshTopology
+from repro.telemetry import MetricRegistry, trace_sink
 
 #: Width of one NoC flit in bytes (typical 128-bit links).
 FLIT_BYTES = 16
@@ -54,7 +55,11 @@ class NocMessage:
 
 @dataclass
 class NocStats:
-    """Aggregate NoC accounting for overhead studies."""
+    """Point-in-time view of NoC accounting for overhead studies.
+
+    Snapshot of the registry-owned instruments; read via
+    :attr:`Noc.stats`.  Mutating a snapshot does not affect the NoC.
+    """
 
     messages: int = 0
     bytes: int = 0
@@ -77,6 +82,8 @@ class Noc:
         flit_ns: float = 1.0,
         endpoint_serialization: bool = True,
         link_contention: bool = False,
+        registry: Optional[MetricRegistry] = None,
+        metrics_prefix: str = "noc",
     ) -> None:
         if per_hop_ns < 0 or flit_ns < 0:
             raise ValueError("latencies must be non-negative")
@@ -90,11 +97,34 @@ class Noc:
         #: because scheduling traffic leaves the NoC lightly loaded
         #: ([58], Sec. V-B) -- the mode exists to *verify* that claim.
         self.link_contention = link_contention
-        self.stats = NocStats()
+        # Accounting lives in owned registry instruments (a slotted
+        # ``value`` attribute costs the same to bump as the old
+        # dataclass fields); a standalone NoC gets a private registry.
+        self.registry = registry if registry is not None else MetricRegistry()
+        p = metrics_prefix
+        self._m_messages = self.registry.counter(f"{p}.messages")
+        self._m_bytes = self.registry.counter(f"{p}.bytes")
+        self._m_latency = self.registry.counter(f"{p}.latency_ns_total")
+        self._by_vnet: Dict[int, int] = {}
+        self.registry.gauge(
+            f"{p}.by_vnet",
+            fn=lambda: {str(v): n for v, n in sorted(self._by_vnet.items())},
+        )
+        self._trace = trace_sink()
         # Earliest time each receiver's ejection port frees up.
         self._ejection_free: Dict[int, float] = {}
         # Earliest time each directed link (a -> b) frees up.
         self._link_free: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def stats(self) -> NocStats:
+        """Snapshot of the NoC's registry instruments."""
+        return NocStats(
+            messages=self._m_messages.value,
+            bytes=self._m_bytes.value,
+            total_latency_ns=self._m_latency.value,
+            by_vnet=self._by_vnet,
+        )
 
     def latency(self, msg: NocMessage) -> float:
         """Uncontended wire latency for a message."""
@@ -134,11 +164,14 @@ class Noc:
             # The ejection port is busy for the message's flit time.
             self._ejection_free[msg.dst] = arrival + flit_time
         msg.delivered_at = arrival
-        stats = self.stats
-        stats.messages += 1
-        stats.bytes += msg.size_bytes
-        stats.total_latency_ns += arrival - now
-        stats.by_vnet[msg.vnet] = stats.by_vnet.get(msg.vnet, 0) + 1
+        self._m_messages.value += 1
+        self._m_bytes.value += msg.size_bytes
+        self._m_latency.value += arrival - now
+        by_vnet = self._by_vnet
+        by_vnet[msg.vnet] = by_vnet.get(msg.vnet, 0) + 1
+        trace = self._trace
+        if trace.enabled:
+            trace.span("noc", msg.dst, f"vnet{msg.vnet}", now, arrival)
         self.sim.schedule_at(arrival, on_delivery, msg)
         return arrival
 

@@ -18,14 +18,23 @@ class PcieLink:
 
     def __init__(self, constants: HwConstants = DEFAULT_CONSTANTS) -> None:
         self.constants = constants
+        self.transfers = 0
+        self.bytes = 0
 
     def transfer_ns(self, size_bytes: int) -> float:
         """Latency to move ``size_bytes`` across the link, in ns."""
         if size_bytes < 0:
             raise ValueError(f"size must be >= 0, got {size_bytes}")
         c = self.constants
+        self.transfers += 1
+        self.bytes += size_bytes
         frac = min(1.0, size_bytes / c.pcie_full_size_bytes)
         return c.pcie_min_ns + frac * (c.pcie_max_ns - c.pcie_min_ns)
+
+    def register_metrics(self, registry, prefix: str = "pcie") -> None:
+        """Register bound transfer counters into a telemetry registry."""
+        registry.counter(f"{prefix}.transfers", fn=lambda: self.transfers)
+        registry.counter(f"{prefix}.bytes", fn=lambda: self.bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         c = self.constants

@@ -25,6 +25,8 @@ class QpiLink:
             raise ValueError(f"cores_per_socket must be positive, got {cores_per_socket}")
         self.cores_per_socket = int(cores_per_socket)
         self.constants = constants
+        self.crossings = 0
+        self.crossing_ns_total = 0.0
 
     def socket_of(self, core_id: int) -> int:
         """Which socket a core lives on."""
@@ -36,7 +38,16 @@ class QpiLink:
         """Latency added if the two cores are on different sockets."""
         if self.socket_of(src_core) == self.socket_of(dst_core):
             return 0.0
+        self.crossings += 1
+        self.crossing_ns_total += self.constants.qpi_ns
         return self.constants.qpi_ns
+
+    def register_metrics(self, registry, prefix: str = "qpi") -> None:
+        """Register bound socket-crossing counters into a registry."""
+        registry.counter(f"{prefix}.crossings", fn=lambda: self.crossings)
+        registry.counter(
+            f"{prefix}.crossing_ns_total", fn=lambda: self.crossing_ns_total
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -6,6 +6,10 @@ scales linearly with cores.  The paper maps one partition per *manager
 thread* (not per core) and lets any worker in the group serve it --
 migrated requests then pay one extra remote access to the key's owner,
 the application-level overhead quantified in Sec. IX-C.
+
+Operation accounting lives in telemetry instruments under a per-
+partition namespace (``kvs.p<i>.gets`` ...); :attr:`MicaPartition.stats`
+returns a :class:`StoreStats` snapshot for the existing call sites.
 """
 
 from __future__ import annotations
@@ -15,11 +19,12 @@ from typing import List, Optional, Tuple
 
 from repro.kvs.hashtable import HashIndex, key_hash
 from repro.kvs.log import CircularLog
+from repro.telemetry import MetricRegistry
 
 
 @dataclass
 class StoreStats:
-    """Per-partition operation counters."""
+    """Point-in-time view of one partition's operation counters."""
     gets: int = 0
     sets: int = 0
     scans: int = 0
@@ -41,38 +46,59 @@ class MicaPartition:
         partition_id: int,
         n_buckets: int = 2_048,
         log_bytes: int = 8 << 20,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.partition_id = int(partition_id)
         self.index = HashIndex(n_buckets)
         self.log = CircularLog(log_bytes)
-        self.stats = StoreStats()
+        self.registry = registry if registry is not None else MetricRegistry()
+        prefix = f"kvs.p{self.partition_id}"
+        reg = self.registry
+        self._m_gets = reg.counter(f"{prefix}.gets")
+        self._m_sets = reg.counter(f"{prefix}.sets")
+        self._m_scans = reg.counter(f"{prefix}.scans")
+        self._m_deletes = reg.counter(f"{prefix}.deletes")
+        self._m_hits = reg.counter(f"{prefix}.hits")
+        self._m_misses = reg.counter(f"{prefix}.misses")
+
+    @property
+    def stats(self) -> StoreStats:
+        """Snapshot of this partition's registry instruments."""
+        return StoreStats(
+            gets=self._m_gets.value,
+            sets=self._m_sets.value,
+            scans=self._m_scans.value,
+            deletes=self._m_deletes.value,
+            hits=self._m_hits.value,
+            misses=self._m_misses.value,
+        )
 
     # ------------------------------------------------------------------
     def get(self, key: bytes) -> Optional[bytes]:
         """Point lookup; None on miss (absent or evicted)."""
-        self.stats.gets += 1
+        self._m_gets.value += 1
         offset = self.index.get(key)
         if offset is None:
-            self.stats.misses += 1
+            self._m_misses.value += 1
             return None
         record = self.log.read(offset)
         if record is None or record.key != bytes(key):
             # Dangling index entry: the log wrapped past it.
             self.index.delete(key)
-            self.stats.misses += 1
+            self._m_misses.value += 1
             return None
-        self.stats.hits += 1
+        self._m_hits.value += 1
         return record.value
 
     def set(self, key: bytes, value: bytes) -> None:
         """Upsert: append to the log, repoint the index."""
-        self.stats.sets += 1
+        self._m_sets.value += 1
         record = self.log.append(key, value)
         self.index.put(key, record.offset)
 
     def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
         """Range-style walk returning up to ``count`` live pairs."""
-        self.stats.scans += 1
+        self._m_scans.value += 1
         out: List[Tuple[bytes, bytes]] = []
         for key, offset in self.index.scan(start_key, count):
             record = self.log.read(offset)
@@ -82,7 +108,7 @@ class MicaPartition:
 
     def delete(self, key: bytes) -> bool:
         """Drop the index entry (the log record ages out naturally)."""
-        self.stats.deletes += 1
+        self._m_deletes.value += 1
         return self.index.delete(key)
 
     def __len__(self) -> int:
@@ -97,11 +123,18 @@ class MicaStore:
         n_partitions: int,
         n_buckets_per_partition: int = 2_048,
         log_bytes_per_partition: int = 8 << 20,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if n_partitions <= 0:
             raise ValueError(f"need at least one partition, got {n_partitions}")
+        self.registry = registry if registry is not None else MetricRegistry()
         self.partitions: List[MicaPartition] = [
-            MicaPartition(i, n_buckets_per_partition, log_bytes_per_partition)
+            MicaPartition(
+                i,
+                n_buckets_per_partition,
+                log_bytes_per_partition,
+                registry=self.registry,
+            )
             for i in range(n_partitions)
         ]
 

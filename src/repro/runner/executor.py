@@ -42,6 +42,9 @@ class PointResult:
     violation_ratio: Optional[float] = None
     #: Output of the spec's ``metrics`` hook, computed in the worker.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: ``SimulationResult.metrics``: the system's telemetry-registry
+    #: snapshot, serialized through the content-addressed cache.
+    instruments: Dict[str, Any] = field(default_factory=dict)
     #: Set by the runner when this result came from the cache rather
     #: than a fresh execution.  Not part of the cached payload.
     cache_hit: bool = False
@@ -140,4 +143,5 @@ def execute_point(spec: PointSpec) -> PointResult:
         extra=dict(result.extra),
         violation_ratio=violation,
         metrics=metrics,
+        instruments=dict(result.metrics),
     )

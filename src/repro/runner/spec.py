@@ -37,7 +37,8 @@ from repro.workload.service import ServiceDistribution
 
 #: Bump when the execution or result layout changes incompatibly;
 #: salted into every cache key alongside the package version.
-SPEC_SCHEMA_VERSION = 1
+#: 2: PointResult grew the ``instruments`` telemetry-registry snapshot.
+SPEC_SCHEMA_VERSION = 2
 
 
 class SpecError(TypeError):

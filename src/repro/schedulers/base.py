@@ -13,36 +13,160 @@ and ``_after_complete`` (what does a freed core do next?), optionally
 The harness also handles end-of-run detection: once ``expect(n)`` has
 been called and *n* requests have completed (or been dropped), it stops
 the simulator so periodic timers don't keep the event heap alive.
+
+Telemetry: every system owns a :class:`~repro.telemetry.MetricRegistry`
+(``system.metrics``) that the engine, NIC delivery model, and scheduler
+subsystems register into, and a trace sink (``system.trace``) picked up
+from the active :func:`repro.telemetry.capture` context -- the shared
+``NULL_SINK`` when tracing is off, so the disabled path is a single
+attribute check.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
 from repro.hw.cores import Core
 from repro.hw.nic import DeliveryModel, HwTerminatedDelivery
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry import (
+    MetricNamespaceError,
+    MetricRegistry,
+    trace_sink,
+    validate_namespace,
+)
 from repro.workload.request import Request
 
+Number = Union[int, float]
 
-@dataclass
+
+class ScopedStats:
+    """Namespaced write adapter for :attr:`SystemStats.extra`.
+
+    Every free-form stat travels under a ``namespace.key`` name, and the
+    first namespace to write a full key owns it -- a second namespace
+    producing the same full key (e.g. ``a`` writing ``cluster.x`` vs
+    ``a.cluster`` writing ``x``) raises :class:`MetricNamespaceError`
+    instead of silently merging, which is how cluster metrics used to
+    collide with scheduler-written keys.
+
+    ``incr`` defaults to an integer amount so pure counters stay ints
+    all the way to JSON.
+    """
+
+    __slots__ = ("_stats", "namespace")
+
+    def __init__(self, stats: "SystemStats", namespace: str) -> None:
+        self._stats = stats
+        self.namespace = validate_namespace(namespace)
+
+    def incr(self, key: str, amount: Number = 1) -> None:
+        """Add ``amount`` to ``namespace.key`` (int-preserving)."""
+        self._stats._write(self.namespace, key, amount, add=True)
+
+    def put(self, key: str, value: Number) -> None:
+        """Set ``namespace.key`` to ``value``."""
+        self._stats._write(self.namespace, key, value, add=False)
+
+    def get(self, key: str, default: Number = 0) -> Number:
+        return self._stats._extra.get(f"{self.namespace}.{key}", default)
+
+
 class SystemStats:
-    """Aggregate counters every system maintains."""
+    """Aggregate counters every system maintains, viewed by a registry.
 
-    offered: int = 0
-    completed: int = 0
-    dropped: int = 0
-    scheduling_ops: int = 0
-    scheduling_ns: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    The core counts (offered/completed/dropped/scheduling) stay plain
+    writable attributes -- the hot paths increment them directly and
+    tests may assign them -- while the registry observes them through
+    bound instruments under ``system.*``.  Free-form stats go through
+    :meth:`scoped` (a namespaced :class:`ScopedStats` adapter); the
+    legacy :meth:`bump` is deprecated and funnels into the ``adhoc``
+    namespace.
+    """
 
-    def bump(self, key: str, amount: float = 1.0) -> None:
-        """Increment a system-specific counter."""
-        self.extra[key] = self.extra.get(key, 0.0) + amount
+    __slots__ = (
+        "registry",
+        "offered",
+        "completed",
+        "dropped",
+        "scheduling_ops",
+        "scheduling_ns",
+        "_extra",
+        "_extra_owner",
+    )
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.offered = 0
+        self.completed = 0
+        self.dropped = 0
+        self.scheduling_ops = 0
+        self.scheduling_ns = 0.0
+        self._extra: Dict[str, Number] = {}
+        self._extra_owner: Dict[str, str] = {}
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        reg.counter("system.offered", fn=lambda: self.offered)
+        reg.counter("system.completed", fn=lambda: self.completed)
+        reg.counter("system.dropped", fn=lambda: self.dropped)
+        reg.counter("system.scheduling_ops", fn=lambda: self.scheduling_ops)
+        reg.counter("system.scheduling_ns", fn=lambda: self.scheduling_ns)
+        reg.gauge("system.extra", fn=lambda: dict(self._extra))
+
+    @property
+    def extra(self) -> Mapping[str, Number]:
+        """Read-only view of the namespaced free-form stats.
+
+        Writes go through :meth:`scoped`; mutating the view raises.
+        """
+        return MappingProxyType(self._extra)
+
+    def scoped(self, namespace: str) -> ScopedStats:
+        """A write adapter whose keys all live under ``namespace.``."""
+        return ScopedStats(self, namespace)
+
+    def _write(
+        self, namespace: str, key: str, value: Number, add: bool
+    ) -> None:
+        full = f"{namespace}.{key}"
+        owner = self._extra_owner.get(full)
+        if owner is None:
+            self._extra_owner[full] = namespace
+        elif owner != namespace:
+            raise MetricNamespaceError(
+                f"stat key {full!r} already owned by namespace {owner!r}; "
+                f"refusing write from namespace {namespace!r}"
+            )
+        if add:
+            self._extra[full] = self._extra.get(full, 0) + value
+        else:
+            self._extra[full] = value
+
+    def bump(self, key: str, amount: Number = 1) -> None:
+        """Deprecated: use ``scoped(namespace).incr(key)`` instead.
+
+        Writes land in the ``adhoc`` namespace so legacy callers cannot
+        collide with instrumented subsystems.
+        """
+        warnings.warn(
+            "SystemStats.bump() is deprecated; use "
+            "stats.scoped(namespace).incr(key)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._write("adhoc", key, amount, add=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SystemStats(offered={self.offered}, "
+            f"completed={self.completed}, dropped={self.dropped}, "
+            f"scheduling_ops={self.scheduling_ops}, "
+            f"scheduling_ns={self.scheduling_ns}, extra={self._extra})"
+        )
 
 
 class RpcSystem(abc.ABC):
@@ -69,7 +193,14 @@ class RpcSystem(abc.ABC):
             Core(sim, i, self._request_completed, self._request_preempted)
             for i in range(n_cores)
         ]
-        self.stats = SystemStats()
+        self.metrics = MetricRegistry()
+        self.trace = trace_sink()
+        self.stats = SystemStats(self.metrics)
+        sim.register_metrics(self.metrics)
+        register = getattr(self.delivery, "register_metrics", None)
+        if register is not None:
+            register(self.metrics)
+        self._latency_hist = self.metrics.histogram("system.latency_ns")
         self.finished_requests: List[Request] = []
         self._expected: Optional[int] = None
         #: Called with each completing request (application execution for
@@ -86,6 +217,9 @@ class RpcSystem(abc.ABC):
     def offer(self, request: Request) -> None:
         """Wire arrival at the NIC.  The latency clock starts here."""
         self.stats.offered += 1
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "nic_delivery", self.sim.now)
         delay = self.delivery.delivery_ns(request)
         self.sim.schedule(delay, self._deliver, request)
 
@@ -118,6 +252,10 @@ class RpcSystem(abc.ABC):
     # ------------------------------------------------------------------
     def _request_completed(self, core: Core, request: Request) -> None:
         self.stats.completed += 1
+        self._latency_hist.observe(request.finished - request.arrival)
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "completed", self.sim.now)
         self.finished_requests.append(request)
         for hook in self.completion_hooks:
             hook(request)
@@ -131,6 +269,9 @@ class RpcSystem(abc.ABC):
         """Drop a request (bounded-queue overflow)."""
         request.dropped = True
         self.stats.dropped += 1
+        trace = self.trace
+        if trace.enabled and trace.sampled(request.req_id):
+            trace.mark(request.req_id, "dropped", self.sim.now)
         for hook in self.drop_hooks:
             hook(request)
         self._check_done()

@@ -45,6 +45,7 @@ class ShinjukuSystem(RpcSystem):
         if n_cores < 2:
             raise ValueError("Shinjuku needs >= 2 cores (dispatcher + worker)")
         super().__init__(sim, streams, n_cores, delivery, constants)
+        self._m_preemptions = self.metrics.counter("sched.preemptions")
         if dispatch_ns < 0 or switch_overhead_ns < 0:
             raise ValueError("overheads must be non-negative")
         if quantum_ns <= 0:
@@ -106,7 +107,7 @@ class ShinjukuSystem(RpcSystem):
         # get ahead of a long request's continuation (processor sharing
         # in the limit).
         self.central.append(request)
-        self.stats.bump("preemptions")
+        self._m_preemptions.value += 1
         self._pump()
 
     # ------------------------------------------------------------------

@@ -54,6 +54,7 @@ class JbsqSystem(RpcSystem):
         startup_overhead_ns: float = 0.0,
     ) -> None:
         super().__init__(sim, streams, n_cores, delivery, constants)
+        self._m_preemptions = self.metrics.counter("sched.preemptions")
         if bound <= 0:
             raise ValueError(f"JBSQ bound must be positive, got {bound}")
         if dispatch_ns < 0 or startup_overhead_ns < 0:
@@ -129,7 +130,7 @@ class JbsqSystem(RpcSystem):
         # again for any core (nanoPU behaviour).
         self.occupancy[core.core_id] -= 1
         self.central.append(request)
-        self.stats.bump("preemptions")
+        self._m_preemptions.value += 1
         waiting = self.local_wait[core.core_id]
         if waiting:
             self._start(core, waiting.popleft())

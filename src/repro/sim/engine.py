@@ -377,5 +377,24 @@ class Simulator:
         """Total callbacks executed so far."""
         return self._events_processed
 
+    def register_metrics(self, registry, prefix: str = "sim") -> None:
+        """Expose clock and event-pool state as bound telemetry gauges.
+
+        The instruments read live attributes at snapshot time; nothing
+        is added to the event loop itself.
+        """
+        registry.gauge(f"{prefix}.now_ns", fn=lambda: self.now)
+        registry.counter(
+            f"{prefix}.events_processed", fn=lambda: self._events_processed
+        )
+        registry.gauge(f"{prefix}.heap_pending", fn=lambda: len(self._heap))
+        registry.gauge(
+            f"{prefix}.heap_pending_active",
+            fn=lambda: len(self._heap) - self._dead,
+        )
+        registry.gauge(
+            f"{prefix}.event_free_list", fn=lambda: len(self._free)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.1f}ns pending={self.pending}>"

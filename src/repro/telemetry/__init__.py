@@ -1,0 +1,40 @@
+"""Telemetry spine: typed metrics registry + per-request trace sink.
+
+See :mod:`repro.telemetry.registry` for instruments and
+:mod:`repro.telemetry.trace` for lifecycle tracing; the
+:func:`~repro.telemetry.runtime.capture` context wires both into systems
+built while it is active.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricNameError,
+    MetricNamespaceError,
+    MetricRegistry,
+    validate_namespace,
+)
+from repro.telemetry.runtime import Capture, capture, record_run, trace_sink
+from repro.telemetry.trace import NULL_SINK, NullSink, TraceSink
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS_NS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricNameError",
+    "MetricNamespaceError",
+    "MetricRegistry",
+    "validate_namespace",
+    "Capture",
+    "capture",
+    "record_run",
+    "trace_sink",
+    "NULL_SINK",
+    "NullSink",
+    "TraceSink",
+]

@@ -1,0 +1,218 @@
+"""Per-request lifecycle tracing into a bounded, sampled ring buffer.
+
+Two event flavours share one ring:
+
+* **Marks** -- ``mark(req_id, phase, t)`` records that a sampled request
+  entered ``phase`` at simulated time ``t``.  A request's lifecycle is a
+  chain of marks (arrival -> NetRX enqueue -> predict -> migrate ->
+  dispatch -> service -> completion); spans are *derived* between
+  consecutive marks at export time, so the per-request spans telescope:
+  their durations sum to exactly ``last_mark - first_mark`` (the
+  end-to-end latency when the chain runs arrival..completion).
+* **Spans** -- ``span(track, lane, name, t0, t1)`` records an interval
+  on an infrastructure track (NoC ejection port, ToR switch port) whose
+  endpoints are both known when the event happens.
+
+The ring is bounded (``capacity`` events, oldest overwritten) and
+sampled (``sample_every``: request ``req_id % sample_every == 0`` is
+traced), so tracing a million-request run costs a fixed amount of
+memory.  Export targets the Chrome trace-event JSON format
+(``chrome://tracing`` / https://ui.perfetto.dev): load the file and each
+sampled request appears as its own row of phase slices.
+
+:class:`NullSink` is the default when no trace was requested: its
+``enabled`` flag is a class attribute checked by every instrumented call
+site before doing any work, so the disabled path costs one attribute
+load and a branch -- no allocation, no sampling arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Ring entry layouts (plain tuples; one allocation per recorded event).
+_MARK = 0
+_SPAN = 1
+
+
+class NullSink:
+    """Tracing disabled: every operation is a no-op.
+
+    ``enabled`` is False at class level so instrumented hot paths can
+    guard with ``if trace.enabled:`` and skip all tracing work.
+    """
+
+    enabled = False
+
+    def sampled(self, req_id: int) -> bool:
+        return False
+
+    def mark(self, req_id: int, phase: str, t: float) -> None:
+        pass
+
+    def span(self, track: str, lane: int, name: str,
+             t0: float, t1: float) -> None:
+        pass
+
+
+#: Shared default sink; systems grab this when no capture is active.
+NULL_SINK = NullSink()
+
+
+class TraceSink:
+    """Bounded ring buffer of request marks and infrastructure spans."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 200_000, sample_every: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._ring: List[Tuple[Any, ...]] = []
+        self._next = 0  # overwrite cursor once the ring is full
+        self.dropped_events = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def sampled(self, req_id: int) -> bool:
+        """Whether this request's lifecycle should be recorded."""
+        return req_id % self.sample_every == 0
+
+    def _record(self, entry: Tuple[Any, ...]) -> None:
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(entry)
+        else:
+            ring[self._next] = entry
+            self._next = (self._next + 1) % self.capacity
+            self.dropped_events += 1
+
+    def mark(self, req_id: int, phase: str, t: float) -> None:
+        """Record that request ``req_id`` entered ``phase`` at time ``t``."""
+        self._record((_MARK, req_id, phase, t))
+
+    def span(self, track: str, lane: int, name: str,
+             t0: float, t1: float) -> None:
+        """Record a ``[t0, t1]`` interval on lane ``lane`` of ``track``."""
+        self._record((_SPAN, track, lane, name, t0, t1))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # Derivation / export
+    # ------------------------------------------------------------------
+    def marks_by_request(self) -> Dict[int, List[Tuple[str, float]]]:
+        """Time-ordered ``(phase, t)`` marks per sampled request."""
+        out: Dict[int, List[Tuple[str, float]]] = {}
+        for entry in self._ring:
+            if entry[0] == _MARK:
+                out.setdefault(entry[1], []).append((entry[2], entry[3]))
+        for marks in out.values():
+            marks.sort(key=lambda m: m[1])
+        return out
+
+    def request_spans(
+        self, req_id: int
+    ) -> List[Tuple[str, float, float]]:
+        """``(phase, t0, t1)`` spans derived from consecutive marks.
+
+        Span *i* runs from mark *i* to mark *i+1* and is named after the
+        phase the request entered at mark *i*, so durations telescope:
+        ``sum(t1 - t0) == last_mark_time - first_mark_time`` exactly.
+        The final (terminal) mark opens no span.
+        """
+        marks = self.marks_by_request().get(req_id, [])
+        return [
+            (phase, t, marks[i + 1][1])
+            for i, (phase, t) in enumerate(marks[:-1])
+        ]
+
+    def infrastructure_spans(
+        self,
+    ) -> List[Tuple[str, int, str, float, float]]:
+        """All recorded ``(track, lane, name, t0, t1)`` spans."""
+        return [
+            (e[1], e[2], e[3], e[4], e[5])
+            for e in self._ring
+            if e[0] == _SPAN
+        ]
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """Render the ring as Chrome trace-event 'complete' (ph=X) events.
+
+        Chrome expects timestamps/durations in microseconds; simulated
+        time is nanoseconds, so values are divided by 1000 (fractional
+        microseconds are fine).  Requests share one process row (tid =
+        req_id); each infrastructure track gets its own process (tid =
+        lane).
+        """
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": 1, "name": "process_name",
+             "args": {"name": "requests"}},
+        ]
+        track_pids: Dict[str, int] = {}
+        for req_id, marks in sorted(self.marks_by_request().items()):
+            for i, (phase, t) in enumerate(marks[:-1]):
+                t_next = marks[i + 1][1]
+                events.append({
+                    "ph": "X", "pid": 1, "tid": req_id,
+                    "name": phase, "cat": "request",
+                    "ts": t / 1000.0, "dur": (t_next - t) / 1000.0,
+                    "args": {"req_id": req_id},
+                })
+            if marks:
+                # Terminal mark as an instant event so the lifecycle end
+                # (completed/dropped) is visible even with no span after.
+                phase, t = marks[-1]
+                events.append({
+                    "ph": "i", "pid": 1, "tid": req_id, "s": "t",
+                    "name": phase, "cat": "request", "ts": t / 1000.0,
+                })
+        for track, lane, name, t0, t1 in self.infrastructure_spans():
+            pid = track_pids.get(track)
+            if pid is None:
+                pid = 2 + len(track_pids)
+                track_pids[track] = pid
+                events.append({
+                    "ph": "M", "pid": pid, "name": "process_name",
+                    "args": {"name": track},
+                })
+            events.append({
+                "ph": "X", "pid": pid, "tid": lane,
+                "name": name, "cat": track,
+                "ts": t0 / 1000.0, "dur": (t1 - t0) / 1000.0,
+            })
+        return events
+
+    def export_chrome(self, path: str) -> None:
+        """Write a Chrome-loadable trace JSON file to ``path``."""
+        doc = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ns",
+            "metadata": {
+                "sample_every": self.sample_every,
+                "dropped_events": self.dropped_events,
+            },
+        }
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceSink {len(self._ring)}/{self.capacity} events, "
+            f"1:{self.sample_every} sampling, "
+            f"{self.dropped_events} overwritten>"
+        )
+
+
+def default_sink() -> NullSink:
+    return NULL_SINK
+
+
+__all__ = ["NullSink", "NULL_SINK", "TraceSink", "default_sink"]

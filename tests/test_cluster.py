@@ -338,8 +338,9 @@ class TestRackCluster:
         )
         assert result.system_name.startswith("rack[")
         assert result.throughput_rps > 0
-        assert "imbalance_index" in result.extra
-        assert result.extra["imbalance_index"] >= 1.0
+        assert "cluster.imbalance_index" in result.extra
+        assert result.extra["cluster.imbalance_index"] >= 1.0
+        assert result.metrics["cluster.imbalance_index"] >= 1.0
 
     def test_every_offered_request_terminates(self):
         config = RackConfig(
@@ -358,7 +359,8 @@ class TestRackCluster:
         result = self._run_rack(config, rate_rps=16e6)
         rack = result.system
         assert rack.switch.dropped > 0
-        assert rack.stats.extra["switch_dropped"] == rack.switch.dropped
+        assert rack.stats.extra["cluster.switch_dropped"] == rack.switch.dropped
+        assert isinstance(rack.stats.extra["cluster.switch_dropped"], int)
         assert rack.stats.completed + rack.stats.dropped == 2000
 
     def test_outstanding_probe_counts_in_flight_work(self):
@@ -380,8 +382,12 @@ class TestRackCluster:
             policy="shortest_wait",
         )
         result = self._run_rack(config, n_requests=500)
-        assert result.extra["steer_samples"] >= 1
-        assert result.extra["steer_srv0"] + result.extra["steer_srv1"] == 500
+        assert result.extra["cluster.steer_samples"] >= 1
+        assert (
+            result.extra["cluster.steer_srv0"]
+            + result.extra["cluster.steer_srv1"]
+            == 500
+        )
 
 
 class TestClusterMetrics:

@@ -47,8 +47,11 @@ class TestSteeringRegression:
         # power-of-2 keeps the rack near its aggregate capacity.  The
         # measured gap is ~19x; require 2x so the gate has headroom.
         assert p2c.latency.p99 < hashed.latency.p99 / 2.0
-        assert p2c.extra["imbalance_index"] < hashed.extra["imbalance_index"]
-        assert hashed.extra["imbalance_index"] > 1.2
+        assert (
+            p2c.extra["cluster.imbalance_index"]
+            < hashed.extra["cluster.imbalance_index"]
+        )
+        assert hashed.extra["cluster.imbalance_index"] > 1.2
 
     def test_rack_run_is_deterministic_for_a_fixed_seed(self):
         first = _run_policy("power_of_d", d=2)

@@ -25,6 +25,7 @@ FAST_EXPERIMENTS = ["tab1", "fig01"]
 class TestRegistry:
     def test_all_paper_artifacts_present(self):
         assert list_experiments() == [
+            "quickstart",
             "fig01", "fig03", "tab1", "fig07", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "tab2_tab3", "ablations", "validation", "fig_rack",
@@ -153,6 +154,48 @@ class TestCli:
 
         assert main(["tab1", "--jobs", "-2"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestCliTelemetry:
+    def test_trace_and_metrics_export(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "quickstart", "--scale", "0.01",
+            "--trace", str(trace), "--trace-sample", "10",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["metadata"]["sample_every"] == 10
+        request_events = [e for e in doc["traceEvents"]
+                          if e.get("cat") == "request" and e["ph"] == "X"]
+        assert request_events  # sampled lifecycles made it out
+        runs = json.loads(metrics.read_text())["runs"]
+        assert runs[0]["system"]  # the Altocumulus variant's name
+        assert runs[0]["metrics"]["system.offered"] > 0
+        assert "trace events" in capsys.readouterr().out
+
+    def test_capture_forces_serial_uncached(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "quickstart", "--scale", "0.01", "--jobs", "4",
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert "--jobs 1" in capsys.readouterr().err
+
+    def test_bad_trace_sample_rejected(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "quickstart", "--trace", str(tmp_path / "t.json"),
+            "--trace-sample", "0",
+        ]) == 2
+        assert "--trace-sample" in capsys.readouterr().err
 
 
 class TestJsonOutput:

@@ -101,7 +101,7 @@ class TestNamedConfigs:
             PoissonArrivals(1e6), Bimodal(500.0, 100_000.0, 0.05),
             n_requests=400, warmup_fraction=0.0,
         )
-        assert system.stats.extra.get("preemptions", 0) > 0
+        assert system.metrics.get("sched.preemptions").value > 0
         assert len(result.requests) == 400
 
     def test_rpcvalet_single_depth(self, sim, streams):

@@ -60,7 +60,7 @@ class TestPreemption:
         system.expect(1)
         sim.run(until=10**9)
         assert req.completed
-        assert system.stats.extra.get("preemptions", 0) >= 3
+        assert system.metrics.get("sched.preemptions").value >= 3
 
     def test_preemption_protects_shorts_from_longs(self, sim, streams):
         """The headline Shinjuku property: shorts overtake a long

@@ -1,0 +1,38 @@
+"""Metrics-schema regression: the instrument set is a public surface.
+
+The pinned snapshot in ``tests/data/metrics_schema.json`` is the schema
+of the golden 32-core Altocumulus system (the same shape the determinism
+goldens use).  Renaming, retyping, or dropping an instrument breaks
+downstream consumers of ``--metrics-out`` snapshots, so it must show up
+here as an explicit diff -- regenerate the file deliberately::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.api import build_system
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+    s = build_system('altocumulus', Simulator(), RandomStreams(7), 32)
+    print(json.dumps(s.metrics.schema(), indent=2))
+    " > tests/data/metrics_schema.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.api import build_system
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+PINNED = Path(__file__).parent / "data" / "metrics_schema.json"
+
+
+def test_altocumulus_schema_matches_pinned_snapshot():
+    system = build_system("altocumulus", Simulator(), RandomStreams(7), 32)
+    assert system.metrics.schema() == json.loads(PINNED.read_text())
+
+
+def test_snapshot_covers_every_schema_entry():
+    system = build_system("altocumulus", Simulator(), RandomStreams(7), 32)
+    snapshot = system.metrics.snapshot()
+    for entry in system.metrics.schema():
+        assert entry["name"] in snapshot

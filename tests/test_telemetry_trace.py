@@ -1,0 +1,131 @@
+"""Unit and end-to-end tests for the request trace sink."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import quick_run
+from repro.telemetry import NULL_SINK, TraceSink, capture, trace_sink
+
+
+class TestRing:
+    def test_capacity_bounds_and_overwrite(self):
+        sink = TraceSink(capacity=4)
+        for i in range(6):
+            sink.mark(i, "arrival", float(i))
+        assert len(sink) == 4
+        assert sink.dropped_events == 2
+        # Oldest two marks were overwritten.
+        assert sorted(sink.marks_by_request()) == [2, 3, 4, 5]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TraceSink(capacity=0)
+        with pytest.raises(ValueError):
+            TraceSink(sample_every=0)
+
+    def test_sampling(self):
+        sink = TraceSink(sample_every=3)
+        assert sink.sampled(0) and sink.sampled(3)
+        assert not sink.sampled(1) and not sink.sampled(2)
+
+
+class TestSpans:
+    def test_request_spans_telescope(self):
+        sink = TraceSink()
+        sink.mark(7, "arrival", 0.0)
+        sink.mark(7, "dispatch", 30.0)
+        sink.mark(7, "service", 45.0)
+        sink.mark(7, "completed", 145.0)
+        spans = sink.request_spans(7)
+        assert spans == [
+            ("arrival", 0.0, 30.0),
+            ("dispatch", 30.0, 45.0),
+            ("service", 45.0, 145.0),
+        ]
+        assert sum(t1 - t0 for _, t0, t1 in spans) == 145.0
+
+    def test_infrastructure_spans(self):
+        sink = TraceSink()
+        sink.span("noc", 3, "vnet1", 10.0, 17.0)
+        assert sink.infrastructure_spans() == [("noc", 3, "vnet1", 10.0, 17.0)]
+
+    def test_chrome_events_shape(self):
+        sink = TraceSink()
+        sink.mark(0, "arrival", 0.0)
+        sink.mark(0, "completed", 1000.0)
+        sink.span("tor", 1, "tx", 0.0, 50.0)
+        events = sink.chrome_events()
+        slices = [e for e in events if e["ph"] == "X" and e["cat"] == "request"]
+        assert slices == [{
+            "ph": "X", "pid": 1, "tid": 0, "name": "arrival",
+            "cat": "request", "ts": 0.0, "dur": 1.0, "args": {"req_id": 0},
+        }]
+        terminals = [e for e in events if e["ph"] == "i"]
+        assert terminals[0]["name"] == "completed"
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {"requests", "tor"}
+
+    def test_export_chrome_loads_as_json(self, tmp_path):
+        sink = TraceSink(sample_every=2)
+        sink.mark(0, "arrival", 0.0)
+        path = tmp_path / "trace.json"
+        sink.export_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["metadata"]["sample_every"] == 2
+        assert isinstance(doc["traceEvents"], list)
+
+
+class TestCaptureContext:
+    def test_default_sink_is_null(self):
+        assert trace_sink() is NULL_SINK
+        assert not NULL_SINK.enabled
+        assert not NULL_SINK.sampled(0)
+
+    def test_capture_swaps_and_restores(self):
+        sink = TraceSink()
+        with capture(trace=sink):
+            assert trace_sink() is sink
+        assert trace_sink() is NULL_SINK
+
+    def test_collect_metrics_gathers_runs(self):
+        with capture(collect_metrics=True) as cap:
+            quick_run("rss", n_cores=2, rate_rps=1e5, n_requests=50, seed=3)
+        assert len(cap.runs) == 1
+        assert cap.runs[0]["system"] == "rss"
+        assert cap.runs[0]["metrics"]["system.offered"] == 50
+
+
+class TestEndToEnd:
+    """Acceptance: per-request spans sum to the end-to-end latency."""
+
+    @pytest.mark.parametrize("system", ["altocumulus", "rss", "rack"])
+    def test_span_sum_equals_latency(self, system):
+        sink = TraceSink()
+        with capture(trace=sink):
+            result = quick_run(system, n_cores=16, rate_rps=2e6,
+                               n_requests=400, seed=5)
+        checked = 0
+        for req in result.requests:
+            spans = sink.request_spans(req.req_id)
+            if not spans:
+                continue
+            total = sum(t1 - t0 for _, t0, t1 in spans)
+            assert math.isclose(total, req.finished - req.arrival,
+                                rel_tol=0.0, abs_tol=1e-6)
+            assert spans[0][1] == req.arrival
+            checked += 1
+        assert checked >= 100
+
+    def test_lifecycle_phase_order(self):
+        sink = TraceSink()
+        with capture(trace=sink):
+            result = quick_run("altocumulus", n_cores=16, rate_rps=1e6,
+                               n_requests=100, seed=5)
+        req = result.requests[0]
+        phases = [phase for phase, _ in
+                  sink.marks_by_request()[req.req_id]]
+        assert phases[0] == "nic_delivery"
+        assert phases[-1] == "completed"
+        assert "service" in phases and "dispatch" in phases
