@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,12 @@ sweep-fast:
 ## fanned out over every CPU with cached sweep points.
 rack-fast:
 	$(PYTHON) -m repro.experiments.cli rack --scale 0.2 --jobs 0 --out results/
+
+## Reduced-scale chaos study (the fig_chaos experiment): a mid-run
+## server crash under three steering policies, every request driven
+## through the retrying client.  See docs/faults.md.
+chaos-fast:
+	$(PYTHON) -m repro.experiments.cli chaos --scale 0.2 --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -22,6 +22,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.slo import violation_ratio
 from repro.core.config import AltocumulusConfig
+from repro.faults import FaultInjector, FaultPlan, RetryClient, active_fault_plan
 from repro.core.scheduler import AltocumulusSystem
 from repro.hw.constants import DEFAULT_CONSTANTS
 from repro.hw.nic import PcieDelivery
@@ -161,23 +162,54 @@ def run_workload(
     connections: Optional[ConnectionPool] = None,
     request_factory: Optional[Callable[[Request], None]] = None,
     size_bytes: int = 300,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
-    """Drive a workload through ``system`` to completion and measure it."""
+    """Drive a workload through ``system`` to completion and measure it.
+
+    With a :class:`~repro.faults.FaultPlan` (passed explicitly, or
+    ambient via :func:`repro.faults.use_fault_plan`), a
+    :class:`~repro.faults.FaultInjector` drives the plan into the system
+    and a :class:`~repro.faults.RetryClient` sits between the generator
+    and the system: it owns delivery (timeouts, capped-backoff retries,
+    duplicate detection) *and* termination, since one logical request may
+    cost several attempts.  Without a plan this function is byte-for-byte
+    the fault-free fast path.
+    """
+    plan = faults if faults is not None else active_fault_plan()
+    injector: Optional[FaultInjector] = None
+    client: Optional[RetryClient] = None
+    if plan is not None:
+        injector = FaultInjector(sim, streams, plan, system)
+        client = RetryClient(
+            sim,
+            streams,
+            system,
+            plan.retry,
+            ingress=injector.ingress,
+            response_delivered=injector.response_delivered,
+        )
     generator = LoadGenerator(
         sim,
         streams,
         arrivals,
         service,
-        sink=system.offer,
+        sink=client.send if client is not None else system.offer,
         n_requests=n_requests,
         size_bytes=size_bytes,
         connections=connections,
         request_factory=request_factory,
         warmup_fraction=warmup_fraction,
     )
-    system.expect(n_requests)
+    if client is not None:
+        client.expect(n_requests)
+    else:
+        system.expect(n_requests)
     generator.start()
     sim.run(until=_MAX_HORIZON_NS)
+    if injector is not None:
+        injector.finalize()
+    if client is not None:
+        client.finalize()
     system.shutdown()
     measured = generator.measured_requests()
     registry = getattr(system, "metrics", None)
@@ -206,6 +238,7 @@ def quick_run(
     n_requests: int = 50_000,
     seed: int = 1,
     service: Optional[ServiceDistribution] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """One-call simulation: Poisson arrivals, exponential service by
     default, 10% warmup discarded."""
@@ -219,6 +252,7 @@ def quick_run(
         arrivals=PoissonArrivals(rate_rps),
         service=service or Exponential(mean_service_ns),
         n_requests=n_requests,
+        faults=faults,
     )
 
 

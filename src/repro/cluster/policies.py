@@ -31,6 +31,17 @@ Policies observe server load through a ``probe`` callable supplied by
 the rack (outstanding = offered - completed - dropped); they never
 reach into scheduler internals, so any registered per-server system
 works behind any policy.
+
+Health awareness: every policy holds a ``health`` view
+(:data:`repro.faults.health.ALL_HEALTHY` until a fault plan replaces it
+with a live :class:`~repro.faults.health.HealthView`).  Load-aware
+policies (round-robin, power-of-d, shortest-wait) route around downed
+servers and bias away from degraded ones -- RackSched's switch-side
+failure handling.  Connection-hash deliberately stays oblivious: a real
+ECMP/RSS fabric has no health feedback, and the chaos experiment exists
+to show what that costs.  The healthy path is guarded by a single
+``health.impaired`` attribute check, so fault-free runs remain
+bit-identical to the pre-fault engine.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.faults.health import ALL_HEALTHY
 from repro.sim.engine import Event, Simulator
 from repro.workload.request import Request
 
@@ -69,6 +81,10 @@ class SteeringPolicy(abc.ABC):
         self.n_servers = int(n_servers)
         #: Requests steered to each server.
         self.decisions: List[int] = [0] * self.n_servers
+        #: Liveness/degradation view; the fault injector swaps in a live
+        #: HealthView when a plan is attached.  ALL_HEALTHY's class-level
+        #: ``impaired = False`` keeps the healthy path allocation-free.
+        self.health = ALL_HEALTHY
 
     def pick_server(self, request: Request) -> int:
         """Choose the destination server for ``request``."""
@@ -116,6 +132,14 @@ class RoundRobinSteering(SteeringPolicy):
     def _pick(self, request: Request) -> int:
         server = self._next
         self._next = (server + 1) % self.n_servers
+        health = self.health
+        if health.impaired and not health.usable(server):
+            # Skip downed servers, keeping the rotation anchored at the
+            # natural slot so recovery resumes the original cadence.
+            for offset in range(1, self.n_servers):
+                candidate = (server + offset) % self.n_servers
+                if health.usable(candidate):
+                    return candidate
         return server
 
 
@@ -174,11 +198,32 @@ class PowerOfDSteering(SteeringPolicy):
             self.refreshes += 1
         return self._estimates[server]
 
+    def _usable_candidates(self, health) -> List[int]:
+        """Sample ``d`` servers from the usable subset (fault mode)."""
+        usable = health.usable_servers()
+        if not usable:
+            # Whole rack down: sample as usual and let admission
+            # blackhole the request (the client timeout observes it).
+            return self._candidates()
+        if self.d >= len(usable):
+            return usable
+        return [
+            usable[int(i)]
+            for i in self.rng.choice(len(usable), size=self.d, replace=False)
+        ]
+
     def _pick(self, request: Request) -> int:
+        health = self.health
+        impaired = health.impaired
+        candidates = (
+            self._usable_candidates(health) if impaired else self._candidates()
+        )
         best = -1
         best_load = float("inf")
-        for server in self._candidates():
+        for server in candidates:
             load = self._estimate(server)
+            if impaired:
+                load += health.penalty(server)
             if load < best_load:
                 best = server
                 best_load = load
@@ -256,6 +301,25 @@ class ShortestExpectedWaitSteering(SteeringPolicy):
     def _pick(self, request: Request) -> int:
         start = self._tie_start
         n = self.n_servers
+        health = self.health
+        if health.impaired:
+            best = -1
+            best_wait = float("inf")
+            for offset in range(n):
+                server = (start + offset) % n
+                if not health.usable(server):
+                    continue
+                wait = self.expected_wait(server) + health.penalty(server)
+                if wait < best_wait:
+                    best = server
+                    best_wait = wait
+            if best < 0:
+                # Whole rack down: fall back to the rotation slot and let
+                # admission blackhole (observable only via client timeout).
+                best = start
+            self._tie_start = (start + 1) % n
+            self._sent_since_sample[best] += 1
+            return best
         best = start
         best_wait = self.expected_wait(start)
         for offset in range(1, n):

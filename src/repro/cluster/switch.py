@@ -95,6 +95,17 @@ class ToRSwitch:
         self.on_drop = on_drop
         #: Time each port's serializer frees up.
         self._free_at: List[float] = [0.0] * self.n_ports
+        #: Fault-injection state: per-port bandwidth factor (1.0 =
+        #: healthy; a degraded port serializes slower by 1/factor) and
+        #: partition flags (a partitioned port silently blackholes).
+        self._bw_factor: List[float] = [1.0] * self.n_ports
+        self._partitioned: List[bool] = [False] * self.n_ports
+        self.partition_dropped: int = 0
+        #: Called as ``on_partition_drop(request, port)`` per blackholed
+        #: request (the fault injector's accounting hook); distinct from
+        #: ``on_drop`` because a partition loss is *silent* -- it must
+        #: not count as a visible rack terminal.
+        self.on_partition_drop: Optional[DropFn] = None
         #: Requests currently buffered (queued or serializing) per port.
         self._occupancy: List[int] = [0] * self.n_ports
         self.forwarded: int = 0
@@ -117,9 +128,32 @@ class ToRSwitch:
         )
 
     # ------------------------------------------------------------------
-    def serialization_ns(self, size_bytes: int) -> float:
-        """Wire time of ``size_bytes`` at the port bandwidth, in ns."""
-        return size_bytes * 8.0 / self.bandwidth_gbps
+    def serialization_ns(self, size_bytes: int, port: Optional[int] = None) -> float:
+        """Wire time of ``size_bytes`` at the port bandwidth, in ns.
+
+        A degraded port (fault injection) serializes slower by its
+        bandwidth factor; the healthy path skips the divide so fault-free
+        runs stay bit-identical.
+        """
+        base = size_bytes * 8.0 / self.bandwidth_gbps
+        if port is not None:
+            factor = self._bw_factor[port]
+            if factor != 1.0:
+                return base / factor
+        return base
+
+    def set_port_bandwidth_factor(self, port: int, factor: float) -> None:
+        """Throttle (or restore) one downlink: 0 < factor <= 1."""
+        if not 0 < factor <= 1.0:
+            raise ValueError(f"bandwidth factor must be in (0, 1], got {factor}")
+        self._bw_factor[port] = float(factor)
+
+    def set_port_partitioned(self, port: int, partitioned: bool) -> None:
+        """Partition (or heal) one downlink; partitioned ports blackhole."""
+        self._partitioned[port] = bool(partitioned)
+
+    def port_partitioned(self, port: int) -> bool:
+        return self._partitioned[port]
 
     def occupancy(self, port: int) -> int:
         """Requests currently buffered on ``port`` (incl. serializing)."""
@@ -131,6 +165,13 @@ class ToRSwitch:
         reaches the server NIC.  Returns False when tail-dropped."""
         if not 0 <= port < self.n_ports:
             raise ValueError(f"port {port} out of range [0, {self.n_ports})")
+        if self._partitioned[port]:
+            # Silent in-fabric loss: no tail-drop accounting, no visible
+            # terminal -- only the client's timeout can observe it.
+            self.partition_dropped += 1
+            if self.on_partition_drop is not None:
+                self.on_partition_drop(request, port)
+            return False
         if (
             self.port_queue_depth is not None
             and self._occupancy[port] >= self.port_queue_depth
@@ -149,7 +190,7 @@ class ToRSwitch:
         if start < now:
             start = now
         self.queue_wait_ns += start - now
-        done = start + self.serialization_ns(request.size_bytes)
+        done = start + self.serialization_ns(request.size_bytes, port)
         self._free_at[port] = done
         self._occupancy[port] += 1
         trace = self._trace

@@ -150,6 +150,15 @@ class RackCluster:
         )
         self._expected: Optional[int] = None
         self._deliver = [server.offer for server in self.servers]
+        #: Rack-level terminal hooks, mirroring RpcSystem's: fired after
+        #: the rack's own accounting for every server completion, server
+        #: drop, and switch tail-drop.  The fault-injection retry client
+        #: attaches here to observe per-attempt terminals.
+        self.completion_hooks: List[object] = []
+        self.drop_hooks: List[object] = []
+        #: Liveness view; the fault injector swaps in a live HealthView
+        #: (shared with ``policy.health``) when a plan is attached.
+        self.health = self.policy.health
         self.switch.register_metrics(self.metrics)
         cluster_metrics.register_cluster_instruments(self, self.metrics)
         for i, server in enumerate(self.servers):
@@ -182,14 +191,20 @@ class RackCluster:
     # ------------------------------------------------------------------
     def _server_completed(self, request: Request) -> None:
         self.stats.completed += 1
+        for hook in self.completion_hooks:
+            hook(request)
         self._check_done()
 
     def _server_dropped(self, request: Request) -> None:
         self.stats.dropped += 1
+        for hook in self.drop_hooks:
+            hook(request)
         self._check_done()
 
     def _switch_dropped(self, request: Request, port: int) -> None:
         self.stats.dropped += 1
+        for hook in self.drop_hooks:
+            hook(request)
         self._check_done()
 
     def _check_done(self) -> None:

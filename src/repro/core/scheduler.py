@@ -31,7 +31,7 @@ Each manager's :class:`~repro.core.runtime.ManagerRuntime` ticks every
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set
+from typing import Callable, Deque, List, Optional, Set, Tuple
 
 from repro.core.config import AltocumulusConfig
 from repro.core.interface import HwInterface
@@ -133,6 +133,11 @@ class AltocumulusSystem(RpcSystem):
             )
         for hw in self.managers:
             hw.connect(self.managers)
+            hw.on_dead_nack = self._on_dead_nack
+        #: Descriptors lost to a NACK returning after a manager crash
+        #: (plain attribute: fault instruments must not widen the pinned
+        #: metrics schema of fault-free builds).
+        self.dead_nack_descriptors = 0
 
         #: Running per-group occupancy totals, kept in lock-step with
         #: ``occupancy`` (mutated only at dispatch/complete): the arrival
@@ -413,6 +418,61 @@ class AltocumulusSystem(RpcSystem):
             self.runtimes[group].on_update(src, qlen)
 
         return on_update
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_manager(self, group: int) -> Tuple[int, int]:
+        """Crash-restart one manager (fault injection).
+
+        The manager's migration protocol state is forgotten -- in-flight
+        MIGRATE batches it sent may be lost if the destination NACKs
+        them (:meth:`_on_dead_nack` drops those) -- and every descriptor
+        queued in its MR file is orphaned.  Orphans are re-dispatched
+        round-robin into peer groups' MR files (RackSched-style
+        failover of queue state); peers with no room, or a single-group
+        system with no peers, drop them visibly so the client can retry.
+
+        Returns ``(in_flight_forgotten, orphans_redispatched)``.
+        """
+        cfg = self.config
+        if not 0 <= group < cfg.n_groups:
+            raise ValueError(
+                f"manager group {group} out of range [0, {cfg.n_groups})"
+            )
+        hw = self.managers[group]
+        forgotten = hw.in_flight_descriptors
+        orphans = hw.fail()
+        redispatched = 0
+        if cfg.n_groups == 1:
+            for request in orphans:
+                self._drop(request)
+            return forgotten, 0
+        peers = [(group + 1 + i) % cfg.n_groups for i in range(cfg.n_groups - 1)]
+        cursor = 0
+        touched: Set[int] = set()
+        for request in orphans:
+            placed = False
+            for attempt in range(len(peers)):
+                dst = peers[(cursor + attempt) % len(peers)]
+                if self.managers[dst].mrs.enqueue(request):
+                    request.group_id = dst
+                    touched.add(dst)
+                    redispatched += 1
+                    cursor = (cursor + attempt + 1) % len(peers)
+                    placed = True
+                    break
+            if not placed:
+                self._drop(request)
+        for dst in sorted(touched):
+            self._pump_group(dst)
+        return forgotten, redispatched
+
+    def _on_dead_nack(self, requests: List[Request]) -> None:
+        """Descriptors bounced back to a crashed manager are gone."""
+        self.dead_nack_descriptors += len(requests)
+        for request in requests:
+            self._drop(request)
 
     # ------------------------------------------------------------------
     # Introspection & lifecycle

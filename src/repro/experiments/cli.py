@@ -31,7 +31,7 @@ from repro.experiments.registry import (
 )
 
 #: Friendly aliases accepted on the command line.
-ALIASES = {"rack": "fig_rack"}
+ALIASES = {"rack": "fig_rack", "chaos": "fig_chaos"}
 
 
 class UnknownExperimentError(ValueError):
@@ -114,6 +114,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "implies --jobs 1 and --no-cache",
     )
     parser.add_argument(
+        "--faults", default=None, metavar="PATH",
+        help="inject a FaultPlan (JSON, see docs/faults.md) into every "
+             "run of the experiment; implies --jobs 1 and --no-cache so "
+             "the ambient plan reaches each in-process run",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the 25 hottest functions by "
              "cumulative time after each experiment (implies --jobs 1 so "
@@ -151,13 +157,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    capturing = args.trace is not None or args.metrics_out is not None
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan, FaultPlanError
+
+        try:
+            with open(args.faults) as handle:
+                fault_plan = FaultPlan.from_json(handle.read())
+        except (OSError, ValueError, FaultPlanError) as exc:
+            print(f"error: --faults {args.faults}: {exc}", file=sys.stderr)
+            return 2
+
+    capturing = (
+        args.trace is not None
+        or args.metrics_out is not None
+        or fault_plan is not None
+    )
     if capturing:
-        # Worker processes have their own (inactive) capture globals and
-        # cached points replay without executing, so telemetry capture
-        # requires fresh in-process execution.
+        # Worker processes have their own (inactive) capture/fault-plan
+        # globals and cached points replay without executing, so both
+        # telemetry capture and ambient fault plans require fresh
+        # in-process execution.
         if args.jobs not in (0, 1):
-            print("[--trace/--metrics-out force --jobs 1]", file=sys.stderr)
+            print("[--trace/--metrics-out/--faults force --jobs 1]",
+                  file=sys.stderr)
         args.jobs = 1
         args.no_cache = True
     if args.trace is not None and args.trace_sample < 1:
@@ -165,12 +188,22 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
+    from contextlib import nullcontext
+
     from repro.telemetry import TraceSink, capture
 
     sink = TraceSink(sample_every=args.trace_sample) if args.trace else None
 
-    with capture(trace=sink, collect_metrics=args.metrics_out is not None) \
-            as cap, overrides(
+    if fault_plan is not None:
+        from repro.faults import use_fault_plan
+
+        plan_context = use_fault_plan(fault_plan)
+    else:
+        plan_context = nullcontext()
+
+    with plan_context, capture(
+        trace=sink, collect_metrics=args.metrics_out is not None
+    ) as cap, overrides(
         jobs=1 if (args.profile or capturing) else args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,

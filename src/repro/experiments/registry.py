@@ -91,6 +91,10 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
         "repro.experiments.fig_rack",
         "rack-scale tier: servers x load x inter-server steering policy",
     ),
+    "fig_chaos": ExperimentInfo(
+        "repro.experiments.fig_chaos",
+        "fault injection: mid-run server crash vs steering policies",
+    ),
 }
 
 

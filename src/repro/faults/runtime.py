@@ -1,0 +1,37 @@
+"""Process-global default fault plan (the ``--faults`` CLI surface).
+
+Mirrors :func:`repro.telemetry.capture`: the CLI installs a plan for
+the duration of an experiment invocation, and every
+:func:`repro.api.run_workload` call that was not handed an explicit
+``faults=`` argument picks it up.  Like telemetry capture, the global
+lives in the current process only -- the CLI forces ``--jobs 1`` and
+``--no-cache`` when a plan is installed, so faulted runs always execute
+in-process (runner sweeps that want parallel faulted points carry the
+plan explicitly in their :class:`~repro.runner.spec.PointSpec`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.plan import FaultPlan
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process-global default plan, or None."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def use_fault_plan(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Install ``plan`` as the default for the duration of the block."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    try:
+        yield
+    finally:
+        _ACTIVE_PLAN = previous

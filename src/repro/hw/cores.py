@@ -43,6 +43,10 @@ class Core:
         self.on_complete = on_complete
         self.on_preempt = on_preempt
         self.current: Optional[Request] = None
+        #: Wall-clock stretch factor applied to service time (fault
+        #: injection's core-stall/straggler knob).  1.0 = healthy; the
+        #: multiply is guarded so the healthy path stays bit-identical.
+        self.slowdown: float = 1.0
         self.busy_ns: float = 0.0
         self.completed: int = 0
         self.preemptions: int = 0
@@ -90,7 +94,8 @@ class Core:
         if preempting:
             run = quantum_ns
         self._run_started = self.sim.now
-        total = startup_ns + run + (switch_overhead_ns if preempting else 0.0)
+        wall_run = run if self.slowdown == 1.0 else run * self.slowdown
+        total = startup_ns + wall_run + (switch_overhead_ns if preempting else 0.0)
         if preempting:
             request.extra_latency += switch_overhead_ns
         if startup_ns:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.sim.engine import Simulator
 from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
@@ -167,6 +167,14 @@ class ManagerTileHw:
         self._others: List["ManagerTileHw"] = []
         self._pending_acks: Dict[int, List[Request]] = {}
         self._next_migrate_id = 0
+        #: Migrate ids forgotten by a crash-restart (:meth:`fail`):
+        #: their eventual ACK is benign (the batch lives on at the
+        #: destination), their NACK means the descriptors are lost.
+        self._dead_migrate_ids: Set[int] = set()
+        #: Called with the lost descriptors when a NACK returns for a
+        #: forgotten migrate id (the restarted manager no longer holds
+        #: the pending buffer to restore them from).
+        self.on_dead_nack: Optional[Callable[[List[Request]], None]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -340,6 +348,17 @@ class ManagerTileHw:
     def _receive_ack(self, payload: _Payload) -> None:
         pending = self._pending_acks.pop(payload.migrate_id, None)
         if pending is None:
+            if payload.migrate_id in self._dead_migrate_ids:
+                # Reply to a batch forgotten in a crash-restart: an ACK
+                # means the batch already lives at the destination; a
+                # NACK means nobody holds the descriptors any more.
+                self._dead_migrate_ids.discard(payload.migrate_id)
+                if (
+                    payload.kind is MessageType.NACK
+                    and self.on_dead_nack is not None
+                ):
+                    self.on_dead_nack(list(payload.requests))
+                return
             raise RuntimeError(
                 f"manager {self.manager_index} got {payload.kind.value} for "
                 f"unknown migrate id {payload.migrate_id}"
@@ -355,6 +374,26 @@ class ManagerTileHw:
             self.mrs.enqueue_reserved(r)
         if self.on_migrate_rejected is not None:
             self.on_migrate_rejected(pending, payload.src_manager)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail(self) -> List[Request]:
+        """Crash-restart this tile's migration protocol state.
+
+        The pending-ACK buffer is forgotten (its migrate ids move to the
+        dead set; see :meth:`_receive_ack` for their replies' fates) and
+        the MR file is drained.  Returns the orphaned MR descriptors, in
+        arrival order, for the owning system to re-dispatch or drop.
+        Send/receive FIFO entries mid-transfer ride out with their
+        already-scheduled events -- the model's manager failure is an
+        instantaneous state loss plus restart, not an outage window.
+        """
+        self._dead_migrate_ids.update(self._pending_acks)
+        self._pending_acks.clear()
+        orphans = list(self.mrs.entries)
+        self.mrs.entries.clear()
+        return orphans
 
     # ------------------------------------------------------------------
     @property

@@ -11,6 +11,8 @@ functional Python equivalent:
 * :mod:`repro.kvs.dataset` -- the paper's dataset shape: 1.6M pairs of
   16 B keys / 512 B values (~819 MB per manager partition; scaled down
   by default for test-speed).
+* :mod:`repro.kvs.dedup` -- at-most-once duplicate detection for
+  retried RPCs (the fault-injection client's server-side window).
 * :mod:`repro.kvs.handlers` -- GET/SET/SCAN RPC handlers with the
   service-time model for the eRPC (~850 ns) and nanoRPC (~50 ns)
   stacks, plus the EREW remote-owner penalty migrated requests pay.
@@ -20,6 +22,7 @@ from repro.kvs.log import CircularLog, LogRecord
 from repro.kvs.hashtable import HashIndex
 from repro.kvs.store import MicaPartition, MicaStore
 from repro.kvs.dataset import Dataset, build_dataset
+from repro.kvs.dedup import DuplicateDetector
 from repro.kvs.handlers import MicaServiceModel, MicaWorkload
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "MicaStore",
     "Dataset",
     "build_dataset",
+    "DuplicateDetector",
     "MicaServiceModel",
     "MicaWorkload",
 ]

@@ -1,0 +1,62 @@
+"""At-most-once duplicate detection for retried RPCs.
+
+When the client retries a timed-out request, the original attempt may
+still be live inside the server (queued behind a long RPC, in a
+migration buffer, mid-service) -- so the store can end up executing the
+same logical operation twice.  Real KVS stacks guard against that with a
+per-client sequence window; here the :class:`DuplicateDetector` models
+that window as a set of served logical ids.
+
+Every completed attempt is passed through :meth:`observe`.  The first
+completion of a logical id is *unique* (the operation's effects apply);
+any later completion of the same id is flagged as a *duplicate* and its
+effects are discarded by the caller.  The conservation test suite pins
+the bookkeeping identity::
+
+    responses_observed == kvs.dedup.unique + kvs.dedup.duplicates
+
+so no request can be served twice without the duplicate counter
+incrementing -- the at-most-once contract, made auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.telemetry import MetricRegistry
+
+
+class DuplicateDetector:
+    """Tracks which logical request ids have already been served."""
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self._served: Set[int] = set()
+        registry = registry if registry is not None else MetricRegistry()
+        self._m_unique = registry.counter("kvs.dedup.unique")
+        self._m_duplicates = registry.counter("kvs.dedup.duplicates")
+
+    def observe(self, logical_id: int) -> bool:
+        """Record one completed attempt; True when it is a duplicate."""
+        if logical_id in self._served:
+            self._m_duplicates.value += 1
+            return True
+        self._served.add(logical_id)
+        self._m_unique.value += 1
+        return False
+
+    def seen(self, logical_id: int) -> bool:
+        return logical_id in self._served
+
+    @property
+    def unique(self) -> int:
+        return self._m_unique.value
+
+    @property
+    def duplicates(self) -> int:
+        return self._m_duplicates.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DuplicateDetector unique={self.unique} "
+            f"duplicates={self.duplicates}>"
+        )

@@ -119,6 +119,7 @@ def execute_point(spec: PointSpec) -> PointResult:
         connections=connections,
         request_factory=request_factory,
         size_bytes=spec.size_bytes,
+        faults=spec.faults,
     )
     violation = (
         result.violation_ratio(spec.slo_ns) if spec.slo_ns is not None else None

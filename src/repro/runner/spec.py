@@ -33,12 +33,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
 from repro.workload.service import ServiceDistribution
 
 #: Bump when the execution or result layout changes incompatibly;
 #: salted into every cache key alongside the package version.
 #: 2: PointResult grew the ``instruments`` telemetry-registry snapshot.
-SPEC_SCHEMA_VERSION = 2
+#: 3: PointSpec/SweepSpec grew the ``faults`` FaultPlan field.
+SPEC_SCHEMA_VERSION = 3
 
 
 class SpecError(TypeError):
@@ -157,6 +159,10 @@ class PointSpec:
     warmup_fraction: float = 0.1
     size_bytes: int = 300
     slo_ns: Optional[float] = None
+    #: Fault-injection schedule driven into the system during the run
+    #: (``None`` = the fault-free fast path).  FaultPlan is a frozen
+    #: dataclass of primitives, so it pickles and content-hashes cleanly.
+    faults: Optional[FaultPlan] = None
     #: Free-form label for progress display and result grouping; part of
     #: the identity (two differently-tagged identical runs cache apart).
     tag: str = ""
@@ -194,6 +200,7 @@ class SweepSpec:
     warmup_fraction: float = 0.1
     size_bytes: int = 300
     slo_ns: Optional[float] = None
+    faults: Optional[FaultPlan] = None
     tag: str = ""
 
     def points(self) -> List[PointSpec]:
@@ -212,6 +219,7 @@ class SweepSpec:
                 warmup_fraction=self.warmup_fraction,
                 size_bytes=self.size_bytes,
                 slo_ns=self.slo_ns,
+                faults=self.faults,
                 tag=self.tag,
             )
             for rate in self.rates_rps

@@ -57,6 +57,10 @@ class Request:
     queue_len_at_arrival:
         Length of the queue the request joined, sampled at arrival --
         the predictor variable of the Fig. 7 threshold study.
+    logical_id / attempt / server_id:
+        Fault-injection lineage: the originating logical request id, the
+        retry attempt number (0 = original send), and the rack server
+        this attempt was delivered to.  All unset outside fault runs.
     migrations:
         Number of times an Altocumulus MIGRATE moved this request.
     steals:
@@ -84,6 +88,9 @@ class Request:
     core_id: Optional[int] = None
     group_id: Optional[int] = None
     queue_len_at_arrival: Optional[int] = None
+    logical_id: Optional[int] = None
+    attempt: int = 0
+    server_id: Optional[int] = None
     migrations: int = 0
     steals: int = 0
     dropped: bool = False

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.api import quick_run
+from repro.faults import FaultEvent, FaultPlan, RetryPolicy
 
 #: The systems the golden file covers (d-FCFS, JBSQ, RSS++,
 #: work stealing, Altocumulus) plus the rack-scale cluster tier.  The
@@ -28,6 +29,49 @@ from repro.api import quick_run
 #: introduced and pins switch timing, steering decisions, and per-server
 #: stream spawning ever since.
 GOLDEN_SYSTEMS = ("rss", "rpcvalet", "rsspp", "zygos", "altocumulus", "rack")
+
+#: Faulted golden entries: the same fixed workload driven through the
+#: fault-injection subsystem (retrying client + injector).  These pin
+#: the *faulted* event order -- retry timing, fault-stream coin flips,
+#: failover redispatch -- so refactors of repro.faults can't silently
+#: change behavior.  Captured when the subsystem was introduced.
+FAULTED_GOLDEN_SYSTEMS = ("altocumulus+faults", "rack+faults")
+
+#: Every golden entry (plain then faulted).
+ALL_GOLDEN_SYSTEMS = GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS
+
+_GOLDEN_RETRY = RetryPolicy(
+    timeout_ns=50_000.0,
+    max_retries=3,
+    backoff_base_ns=20_000.0,
+    backoff_cap_ns=100_000.0,
+    jitter=0.5,
+)
+
+#: One plan per faulted entry, exercising every single-server fault kind
+#: (altocumulus) and the rack-only kinds (rack).
+GOLDEN_FAULT_PLANS: Dict[str, FaultPlan] = {
+    "altocumulus+faults": FaultPlan(
+        events=(
+            FaultEvent(time_ns=20_000.0, kind="nic_drop", target=0,
+                       magnitude=0.2, duration_ns=30_000.0),
+            FaultEvent(time_ns=30_000.0, kind="core_stall", target=0,
+                       subtarget=3, magnitude=25.0, duration_ns=40_000.0),
+            FaultEvent(time_ns=60_000.0, kind="manager_fail", target=0,
+                       subtarget=1),
+        ),
+        retry=_GOLDEN_RETRY,
+    ),
+    "rack+faults": FaultPlan(
+        events=(
+            FaultEvent(time_ns=15_000.0, kind="server_crash", target=1,
+                       duration_ns=40_000.0),
+            FaultEvent(time_ns=30_000.0, kind="tor_degrade", target=2,
+                       magnitude=0.25, duration_ns=30_000.0),
+        ),
+        retry=_GOLDEN_RETRY,
+    ),
+}
 
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that
@@ -42,8 +86,15 @@ GOLDEN_PARAMS = dict(
 
 
 def run_fingerprint(system: str) -> Dict[str, object]:
-    """Run one golden-config simulation and fingerprint its output."""
-    result = quick_run(system=system, **GOLDEN_PARAMS)
+    """Run one golden-config simulation and fingerprint its output.
+
+    ``system`` may be a plain registered name or a ``"<name>+faults"``
+    entry, which runs the same workload under that entry's fault plan.
+    """
+    faults: Optional[FaultPlan] = GOLDEN_FAULT_PLANS.get(system)
+    if faults is not None:
+        system = system.rsplit("+", 1)[0]
+    result = quick_run(system=system, faults=faults, **GOLDEN_PARAMS)
     hasher = hashlib.sha256()
     for r in result.requests:
         record = (
@@ -76,4 +127,4 @@ def run_fingerprint(system: str) -> Dict[str, object]:
 
 
 def all_fingerprints() -> Dict[str, Dict[str, object]]:
-    return {system: run_fingerprint(system) for system in GOLDEN_SYSTEMS}
+    return {system: run_fingerprint(system) for system in ALL_GOLDEN_SYSTEMS}

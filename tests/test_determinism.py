@@ -28,7 +28,7 @@ from pathlib import Path
 
 import pytest
 
-from tests.determinism_util import GOLDEN_SYSTEMS, run_fingerprint
+from tests.determinism_util import ALL_GOLDEN_SYSTEMS, run_fingerprint
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "determinism_golden.json"
 
@@ -38,7 +38,7 @@ def golden():
     return json.loads(GOLDEN_PATH.read_text())
 
 
-@pytest.mark.parametrize("system", GOLDEN_SYSTEMS)
+@pytest.mark.parametrize("system", ALL_GOLDEN_SYSTEMS)
 def test_bit_identical_to_pre_optimization_engine(system, golden):
     current = run_fingerprint(system)
     expected = golden[system]
@@ -58,4 +58,13 @@ def test_optimized_engine_is_self_deterministic():
     """Two back-to-back runs of the optimized engine are bit-identical."""
     first = run_fingerprint("altocumulus")
     second = run_fingerprint("altocumulus")
+    assert first == second
+
+
+def test_faulted_run_is_self_deterministic():
+    """Fault injection (retry jitter, drop coin flips, failover) draws
+    only from its dedicated streams, so faulted runs are bit-reproducible
+    too."""
+    first = run_fingerprint("rack+faults")
+    second = run_fingerprint("rack+faults")
     assert first == second

@@ -1,0 +1,122 @@
+"""Chaos acceptance gate for :mod:`repro.experiments.fig_chaos`.
+
+Pins the headline claim of the fault-injection subsystem at test scale:
+a mid-run server crash is invisible (within the healthy latency
+envelope) to health-aware inter-server steering, while connection-hash
+-- which has no health feedback -- pays retry-scale latency for the
+whole crash window.  Also pins the exact-accounting contract: every
+``faults.*`` counter matches the injected plan, event for event.
+"""
+
+import pytest
+
+from repro.experiments import fig_chaos
+from repro.runner import overrides
+from repro.runner.executor import execute_point
+
+#: Big enough that the pre-crash window isn't dominated by its own tail:
+#: arrivals just before the crash land on the (about-to-die) hot server
+#: and pay retry latency, so a too-short pre window contaminates pre-p99.
+N_REQUESTS = 12_000
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def chaos_points():
+    """One in-process faulted run per policy at test scale."""
+    specs, crash_start, crash_end = fig_chaos._specs(N_REQUESTS, seed=SEED)
+    points = {
+        name: execute_point(spec)
+        for (name, _), spec in zip(fig_chaos.POLICIES, specs)
+    }
+    return points, crash_start, crash_end
+
+
+class TestCrashRecoveryContrast:
+    def test_health_aware_policies_ride_through_the_crash(self, chaos_points):
+        points, _, _ = chaos_points
+        for name in ("power_of_2", "shortest_wait"):
+            m = points[name].metrics
+            pre, during, post = (
+                m["p99_pre_ns"], m["p99_during_ns"], m["p99_post_ns"]
+            )
+            # Steering around the blackhole keeps p99 in the healthy
+            # envelope during the crash and recovers it fully after.
+            assert during < 3.0 * pre, (name, pre, during)
+            assert post < 2.0 * pre, (name, pre, post)
+
+    def test_hash_policy_pays_retry_scale_latency(self, chaos_points):
+        points, _, _ = chaos_points
+        m = points["hash"].metrics
+        pre, during = m["p99_pre_ns"], m["p99_during_ns"]
+        # Crashed-server flows survive only via client timeouts/retries,
+        # so during-crash p99 jumps to the retry-budget scale.
+        assert during > 5.0 * pre, (pre, during)
+        assert during > fig_chaos.RETRY.timeout_ns
+
+    def test_only_hash_steers_into_the_blackhole(self, chaos_points):
+        points, _, _ = chaos_points
+        hash_blackholed = points["hash"].instruments[
+            "faults.requests_blackholed"]
+        assert hash_blackholed > 100
+        for name in ("power_of_2", "shortest_wait"):
+            inst = points[name].instruments
+            # Health-aware policies stop *steering* at the dead server
+            # the instant it goes down; only the handful of requests
+            # already in transit through the switch can still arrive.
+            assert inst["faults.requests_blackholed"] <= 5, name
+
+
+class TestExactFaultAccounting:
+    def test_counters_match_the_injected_plan(self, chaos_points):
+        points, _, _ = chaos_points
+        for name, point in points.items():
+            inst = point.instruments
+            assert inst["faults.server_crashes"] == 1, name
+            assert inst["faults.server_recoveries"] == 1, name
+            assert inst["faults.events_fired"] == 2, name
+            assert inst["faults.events_skipped"] == 0, name
+
+    def test_every_request_reaches_one_verdict(self, chaos_points):
+        points, _, _ = chaos_points
+        for name, point in points.items():
+            inst = point.instruments
+            assert (
+                inst["client.retry.succeeded"] + inst["client.retry.failed"]
+                == N_REQUESTS
+            ), name
+            assert (
+                inst["client.retry.completed"]
+                + inst["client.retry.dropped"]
+                + inst["client.retry.timed_out"]
+                + inst["client.retry.in_flight_at_end"]
+                == inst["client.retry.injected"] + inst["client.retry.retries"]
+            ), name
+
+    def test_crash_window_spans_the_middle_of_the_run(self, chaos_points):
+        points, crash_start, crash_end = chaos_points
+        assert 0.0 < crash_start < crash_end
+        for name, point in points.items():
+            m = point.metrics
+            # All three arrival windows are populated at test scale, and
+            # together they partition the measured (post-warmup) log.
+            assert m["n_pre"] > 0 and m["n_during"] > 0 and m["n_post"] > 0
+            assert (
+                m["n_pre"] + m["n_during"] + m["n_post"]
+                == point.latency.count
+            )
+
+
+class TestExperimentEntryPoint:
+    def test_run_produces_one_row_per_policy(self):
+        with overrides(use_cache=False, jobs=1, progress=False):
+            result = fig_chaos.run(scale=0.05, seed=SEED)
+        assert result.exp_id == "fig_chaos"
+        assert [row[0] for row in result.rows] == [
+            name for name, _ in fig_chaos.POLICIES
+        ]
+        assert set(result.series) == {name for name, _ in fig_chaos.POLICIES}
+
+    def test_registered_in_experiment_registry(self):
+        from repro.experiments.registry import EXPERIMENTS
+        assert "fig_chaos" in EXPERIMENTS

@@ -1,0 +1,261 @@
+"""Unit tests for the retrying client: timeout/retry/backoff behaviour,
+duplicate detection, response fencing, and the per-attempt conservation
+bookkeeping -- against a scripted fake system so every scenario is
+exact."""
+
+import pytest
+
+from repro.faults import RetryClient, RetryPolicy
+from repro.telemetry import MetricRegistry
+from tests.conftest import make_request
+
+
+class FakeSystem:
+    """Scripted system duck: the test completes/drops attempts by hand."""
+
+    name = "fake"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.metrics = MetricRegistry()
+        self.completion_hooks = []
+        self.drop_hooks = []
+        self.offered = []
+
+    def offer(self, request):
+        self.offered.append(request)
+
+    def complete(self, request):
+        request.finished = self.sim.now
+        for hook in self.completion_hooks:
+            hook(request)
+
+    def drop(self, request):
+        request.dropped = True
+        for hook in self.drop_hooks:
+            hook(request)
+
+
+RETRY = RetryPolicy(
+    timeout_ns=1_000.0,
+    max_retries=2,
+    backoff_base_ns=100.0,
+    backoff_cap_ns=400.0,
+    jitter=0.0,  # deterministic spacing for exact-time assertions
+)
+
+
+@pytest.fixture
+def system(sim):
+    return FakeSystem(sim)
+
+
+@pytest.fixture
+def client(sim, streams, system):
+    return RetryClient(sim, streams, system, RETRY)
+
+
+def counters(system):
+    return {
+        key.rsplit(".", 1)[-1]: value
+        for key, value in system.metrics.snapshot().items()
+        if key.startswith("client.retry.")
+    }
+
+
+def assert_conserved(system):
+    c = counters(system)
+    assert (
+        c["completed"] + c["dropped"] + c["timed_out"] + c["in_flight_at_end"]
+        == c["injected"] + c["retries"]
+    ), c
+
+
+class TestImmediateSuccess:
+    def test_completion_before_timeout(self, sim, system, client):
+        request = make_request(req_id=1)
+        client.send(request)
+        assert system.offered == [request]
+        sim.schedule(500.0, system.complete, request)
+        sim.run(until=10_000.0)
+        c = counters(system)
+        assert c["completed"] == 1 and c["timed_out"] == 0
+        assert c["succeeded"] == 1 and c["retries"] == 0
+        assert client.open_attempts == 0
+        assert_conserved(system)
+
+    def test_finalize_stamps_client_observed_latency(self, sim, system, client):
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.schedule(500.0, system.complete, request)
+        sim.run(until=10_000.0)
+        client.finalize()
+        assert request.finished == 500.0
+        assert not request.dropped
+
+
+class TestTimeoutAndRetry:
+    def test_lost_attempt_is_retried_after_backoff(self, sim, system, client):
+        request = make_request(req_id=1)
+        client.send(request)  # vanishes: the fake never completes it
+        sim.run(until=1_050.0)
+        c = counters(system)
+        assert c["timed_out"] == 1
+        sim.run(until=1_200.0)  # timeout (1000) + backoff (100)
+        assert len(system.offered) == 2
+        clone = system.offered[1]
+        assert clone.logical_id == 1 and clone.attempt == 1
+        assert clone.req_id != request.req_id
+        # The retried attempt succeeds; the logical request succeeds.
+        system.complete(clone)
+        c = counters(system)
+        assert c["succeeded"] == 1 and c["retries"] == 1
+        assert_conserved(system)
+
+    def test_retries_exhausted_fails_the_logical_request(
+        self, sim, system, client
+    ):
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.run(until=60_000.0)  # nothing ever completes
+        c = counters(system)
+        assert c["timed_out"] == 3  # original + 2 retries
+        assert c["retries"] == 2
+        assert c["failed"] == 1 and c["succeeded"] == 0
+        client.finalize()
+        assert request.dropped
+        assert_conserved(system)
+
+    def test_backoff_doubles_between_retries(self, sim, system, client):
+        client.send(make_request(req_id=1))
+        sim.run(until=60_000.0)
+        sends = [r.arrival for r in system.offered]
+        # send 0 at t=0; its timeout at 1000 + backoff 100 -> retry 1 at
+        # 1100; retry 1 times out at 2100 + backoff 200 -> retry 2 at 2300.
+        assert sends == [0.0, 1_100.0, 2_300.0]
+
+    def test_zero_retries_fails_on_first_timeout(self, sim, streams, system):
+        client = RetryClient(
+            sim, streams, system,
+            RetryPolicy(timeout_ns=1_000.0, max_retries=0, jitter=0.0),
+        )
+        client.send(make_request(req_id=1))
+        sim.run(until=5_000.0)
+        c = counters(system)
+        assert c["failed"] == 1 and c["retries"] == 0
+        assert_conserved(system)
+
+
+class TestServerDrop:
+    def test_dropped_attempt_is_retried(self, sim, system, client):
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.schedule(200.0, system.drop, request)
+        sim.run(until=400.0)
+        c = counters(system)
+        assert c["dropped"] == 1 and c["timed_out"] == 0
+        assert len(system.offered) == 2  # backoff=100 after the drop
+        assert_conserved(system)
+
+    def test_drop_after_timeout_not_double_counted(self, sim, system, client):
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.schedule(2_000.0, system.drop, request)  # after the timeout
+        sim.run(until=2_050.0)  # before the retry's own timeout at 2100
+        c = counters(system)
+        assert c["timed_out"] == 1
+        assert c["dropped"] == 0  # server-side cleanup of an abandoned attempt
+        assert_conserved(system)
+
+
+class TestDuplicates:
+    def test_double_completion_flags_duplicate(self, sim, system, client):
+        """A timed-out original finishing after its retry already
+        succeeded must hit the dedup layer, not count twice."""
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.run(until=1_200.0)  # original times out, retry sent
+        clone = system.offered[1]
+        system.complete(clone)  # retry wins
+        system.complete(request)  # zombie original completes too
+        c = counters(system)
+        assert c["succeeded"] == 1
+        assert c["responses"] == 2
+        assert c["duplicates"] == 1
+        snapshot = system.metrics.snapshot()
+        assert snapshot["kvs.dedup.unique"] == 1
+        assert snapshot["kvs.dedup.duplicates"] == 1
+        # No service without a dedup audit trail:
+        assert snapshot["kvs.dedup.unique"] + snapshot["kvs.dedup.duplicates"] \
+            == c["responses"]
+        assert_conserved(system)
+
+    def test_late_success_counted(self, sim, system, client):
+        """The original times out, then completes before any retry does:
+        the logical request succeeds via the late response."""
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.run(until=1_050.0)  # timed out, retry still in backoff
+        system.complete(request)
+        c = counters(system)
+        assert c["late_successes"] == 1 and c["succeeded"] == 1
+        # The pending backoff resend was cancelled: no further sends.
+        sim.run(until=20_000.0)
+        assert len(system.offered) == 1
+        assert_conserved(system)
+
+    def test_completion_after_verdict_does_not_flip_failure(
+        self, sim, system, client
+    ):
+        request = make_request(req_id=1)
+        client.send(request)
+        sim.run(until=60_000.0)  # retries exhaust, logical fails
+        assert counters(system)["failed"] == 1
+        system.complete(system.offered[-1])  # zombie finishes afterwards
+        c = counters(system)
+        assert c["failed"] == 1 and c["succeeded"] == 0
+        client.finalize()
+        assert request.dropped
+        assert_conserved(system)
+
+
+class TestResponseFencing:
+    def test_fenced_response_waits_for_timeout(self, sim, streams, system):
+        """A completion whose response is lost (server down) leaves the
+        attempt open; the timeout terminates it."""
+        client = RetryClient(
+            sim, streams, system,
+            RetryPolicy(timeout_ns=1_000.0, max_retries=0, jitter=0.0),
+            response_delivered=lambda request: False,
+        )
+        client.send(make_request(req_id=1))
+        system.complete(system.offered[0])
+        c = counters(system)
+        assert c["completed"] == 0 and c["responses"] == 0
+        sim.run(until=2_000.0)
+        c = counters(system)
+        assert c["timed_out"] == 1 and c["failed"] == 1
+        assert_conserved(system)
+
+
+class TestTermination:
+    def test_expect_stops_at_logical_terminals_not_attempts(
+        self, sim, system, client
+    ):
+        requests = [make_request(req_id=i) for i in range(3)]
+        for request in requests:
+            client.send(request)
+        client.expect(3)
+        # One completes now; the others burn all retries.
+        system.complete(requests[0])
+        sim.run(until=10**9)
+        c = counters(system)
+        assert c["succeeded"] == 1 and c["failed"] == 2
+        # Attempts: 1 + 2 * (1 + max_retries).
+        assert c["injected"] + c["retries"] == 7
+        assert sim.now < 10**9  # stopped by the client, not the horizon
+        assert_conserved(system)
+
+    def test_expect_rejects_nonpositive(self, client):
+        with pytest.raises(ValueError):
+            client.expect(0)

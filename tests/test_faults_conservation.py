@@ -1,0 +1,182 @@
+"""The conservation battery: under any fault plan, every attempt the
+client sends lands in exactly one terminal bucket, and nothing is served
+twice without the duplicate detector seeing it.
+
+Pinned identities (at shutdown, for every system x scenario):
+
+    completed + dropped + timed_out + in_flight_at_end
+        == injected + retries                      (attempt conservation)
+    succeeded + failed == injected                 (logical conservation)
+    responses == kvs.dedup.unique + kvs.dedup.duplicates   (at-most-once)
+    client.retry.duplicates == kvs.dedup.duplicates
+
+Fixed scenarios run across *every* registered system; randomized plans
+(hypothesis, derandomized with fixed seeds) probe the space of schedules
+on three representative systems.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import available_systems, quick_run
+from repro.faults import FaultEvent, FaultPlan, RetryPolicy
+
+#: Shape shared by every conservation run: 8 cores (4x2 for the rack),
+#: ~50% load, short enough to keep the whole battery in seconds.
+N_CORES = 8
+RATE_RPS = 4e6
+N_REQUESTS = 400
+SEED = 7
+
+RETRY = RetryPolicy(timeout_ns=15_000.0, max_retries=2,
+                    backoff_base_ns=5_000.0, backoff_cap_ns=20_000.0,
+                    jitter=0.5)
+
+#: Fixed multi-fault scenario, valid on every system: single-server
+#: systems skip the rack-only events, non-Altocumulus skip manager_fail.
+SCENARIO = FaultPlan(
+    events=(
+        FaultEvent(time_ns=10_000.0, kind="server_crash", target=0,
+                   duration_ns=20_000.0),
+        FaultEvent(time_ns=15_000.0, kind="nic_drop", target=0,
+                   magnitude=0.3, duration_ns=15_000.0),
+        FaultEvent(time_ns=20_000.0, kind="core_stall", target=0,
+                   subtarget=1, magnitude=10.0, duration_ns=20_000.0),
+        FaultEvent(time_ns=30_000.0, kind="manager_fail", target=0,
+                   subtarget=0),
+        FaultEvent(time_ns=35_000.0, kind="tor_partition", target=1,
+                   duration_ns=15_000.0),
+    ),
+    retry=RETRY,
+)
+
+
+def assert_conserved(metrics, n_requests):
+    c = {key.rsplit(".", 1)[-1]: value
+         for key, value in metrics.items()
+         if key.startswith("client.retry.")}
+    assert c["injected"] == n_requests
+    assert (
+        c["completed"] + c["dropped"] + c["timed_out"] + c["in_flight_at_end"]
+        == c["injected"] + c["retries"]
+    ), f"attempt conservation violated: {c}"
+    assert c["succeeded"] + c["failed"] == c["injected"], (
+        f"logical conservation violated: {c}"
+    )
+    assert c["responses"] == (
+        metrics["kvs.dedup.unique"] + metrics["kvs.dedup.duplicates"]
+    ), "a response bypassed the duplicate detector"
+    assert c["duplicates"] == metrics["kvs.dedup.duplicates"]
+
+
+@pytest.mark.parametrize("system", available_systems())
+def test_fixed_scenario_conserves_requests(system):
+    result = quick_run(
+        system, n_cores=N_CORES, rate_rps=RATE_RPS, mean_service_ns=1000.0,
+        n_requests=N_REQUESTS, seed=SEED, faults=SCENARIO,
+    )
+    assert_conserved(result.metrics, N_REQUESTS)
+
+
+@pytest.mark.parametrize("system", available_systems())
+def test_no_plan_keeps_fault_counters_out(system):
+    """The control: a plain run registers no fault instruments at all."""
+    result = quick_run(system, n_cores=N_CORES, rate_rps=RATE_RPS,
+                       n_requests=200, seed=SEED)
+    assert not any(
+        key.startswith(("faults.", "client.retry.", "kvs.dedup."))
+        for key in result.metrics
+    )
+
+
+# ----------------------------------------------------------------------
+# Randomized plans (hypothesis)
+# ----------------------------------------------------------------------
+_TIMES = st.floats(0.0, 120_000.0, allow_nan=False, allow_infinity=False)
+_DURATIONS = st.floats(1_000.0, 50_000.0, allow_nan=False,
+                       allow_infinity=False)
+
+
+@st.composite
+def fault_events(draw, n_servers, cores_per_server):
+    kind = draw(st.sampled_from(
+        ["server_crash", "nic_drop", "core_stall", "tor_degrade",
+         "tor_partition", "manager_fail"]
+    ))
+    target = draw(st.integers(0, n_servers - 1))
+    kwargs = dict(time_ns=draw(_TIMES), kind=kind, target=target)
+    if kind in ("server_crash", "tor_partition"):
+        kwargs["duration_ns"] = draw(_DURATIONS)
+    elif kind == "nic_drop":
+        kwargs["magnitude"] = draw(st.floats(0.05, 1.0))
+        kwargs["duration_ns"] = draw(_DURATIONS)
+    elif kind == "tor_degrade":
+        kwargs["magnitude"] = draw(st.floats(0.05, 0.95))
+        kwargs["duration_ns"] = draw(_DURATIONS)
+    elif kind == "core_stall":
+        kwargs["subtarget"] = draw(st.integers(0, cores_per_server - 1))
+        kwargs["magnitude"] = draw(st.floats(1.0, 50.0))
+        kwargs["duration_ns"] = draw(_DURATIONS)
+    return FaultEvent(**kwargs)
+
+
+@st.composite
+def fault_plans(draw, n_servers, cores_per_server):
+    events = draw(st.lists(
+        fault_events(n_servers, cores_per_server), min_size=1, max_size=4,
+    ))
+    retry = RetryPolicy(
+        timeout_ns=draw(st.floats(5_000.0, 40_000.0)),
+        max_retries=draw(st.integers(0, 3)),
+        backoff_base_ns=5_000.0,
+        backoff_cap_ns=40_000.0,
+        jitter=draw(st.floats(0.0, 0.9)),
+    )
+    return FaultPlan(events=tuple(events), retry=retry)
+
+
+_RANDOMIZED = settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(plan=fault_plans(n_servers=1, cores_per_server=N_CORES))
+@_RANDOMIZED
+def test_randomized_plans_single_server_altocumulus(plan):
+    result = quick_run("altocumulus", n_cores=N_CORES, rate_rps=RATE_RPS,
+                       n_requests=200, seed=SEED, faults=plan)
+    assert_conserved(result.metrics, 200)
+
+
+@given(plan=fault_plans(n_servers=1, cores_per_server=N_CORES))
+@_RANDOMIZED
+def test_randomized_plans_single_server_rss(plan):
+    result = quick_run("rss", n_cores=N_CORES, rate_rps=RATE_RPS,
+                       n_requests=200, seed=SEED, faults=plan)
+    assert_conserved(result.metrics, 200)
+
+
+@given(plan=fault_plans(n_servers=4, cores_per_server=2))
+@_RANDOMIZED
+def test_randomized_plans_rack(plan):
+    result = quick_run("rack", n_cores=N_CORES, rate_rps=RATE_RPS,
+                       n_requests=200, seed=SEED, faults=plan)
+    assert_conserved(result.metrics, 200)
+
+
+def test_faulted_runs_are_reproducible():
+    """Same plan + same seed -> bit-identical outcome counters."""
+    runs = [
+        quick_run("rack", n_cores=N_CORES, rate_rps=RATE_RPS,
+                  n_requests=N_REQUESTS, seed=SEED, faults=SCENARIO).metrics
+        for _ in range(2)
+    ]
+    keys = [k for k in runs[0]
+            if k.startswith(("faults.", "client.retry.", "kvs.dedup."))]
+    assert keys
+    for key in keys:
+        assert runs[0][key] == runs[1][key], key
