@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,12 @@ rack-fast:
 ## through the retrying client.  See docs/faults.md.
 chaos-fast:
 	$(PYTHON) -m repro.experiments.cli chaos --scale 0.2 --out results/
+
+## Reduced-scale datacenter-tier sweep (the fig_datacenter experiment):
+## inter-rack steering policy x multi-tenant skew across a 4-rack
+## spine-leaf fabric, fanned out over every CPU with cached points.
+datacenter-fast:
+	$(PYTHON) -m repro.experiments.cli datacenter --scale 0.2 --jobs 0 --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -103,6 +103,7 @@ def _register_defaults() -> None:
                 s, r, _default_ac_config(n)
             ),
             "rack": _default_rack,
+            "datacenter": _default_datacenter,
         }
     )
 
@@ -123,6 +124,30 @@ def _default_rack(sim: Simulator, streams: RandomStreams, n_cores: int):
         d=2,
     )
     return build_rack(sim, streams, config)
+
+
+def _default_datacenter(sim: Simulator, streams: RandomStreams, n_cores: int):
+    """The fabric tier behind the one-server API: ``n_cores`` total
+    cores split over 2 racks x 2 Altocumulus servers (one rack of one
+    server when the count doesn't divide), with power-of-two steering
+    inside each rack and shortest-expected-wait steering across racks.
+    Full control over fabric shape lives in :mod:`repro.datacenter`."""
+    from repro.cluster.topology import RackConfig
+    from repro.datacenter.topology import DatacenterConfig, build_topology
+
+    n_racks, n_servers = (2, 2) if n_cores % 4 == 0 and n_cores >= 8 else (1, 1)
+    config = DatacenterConfig(
+        n_racks=n_racks,
+        rack=RackConfig(
+            n_servers=n_servers,
+            cores_per_server=n_cores // (n_racks * n_servers),
+            system="altocumulus",
+            policy="power_of_d",
+            d=2,
+        ),
+        policy="shortest_wait",
+    )
+    return build_topology(sim, streams, config)
 
 
 def _default_ac_config(n_cores: int) -> AltocumulusConfig:

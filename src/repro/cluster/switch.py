@@ -1,24 +1,29 @@
-"""The top-of-rack switch model.
+"""Switch-port models: a shared store-and-forward core plus the ToR.
 
-A :class:`ToRSwitch` sits between the rack's load generator and its N
-servers.  Every request entering the rack is forwarded through the
-switch to the downlink port of the server the steering policy picked,
-paying:
+A switch sits between a load source and N downstream ports.  Every
+request forwarded through it pays:
 
 * **store-and-forward serialization** on the egress port -- the wire
-  time of the request's bytes at the configured downlink bandwidth
+  time of the request's bytes at the configured port bandwidth
   (requests to the same port serialize behind each other), and
 * **a fixed per-port forwarding latency** -- the switching pipeline plus
-  propagation to the server NIC (commodity ToR cut-through latency is a
+  propagation to the downstream NIC (commodity cut-through latency is a
   few hundred nanoseconds).
 
 Each egress port buffers at most ``port_queue_depth`` requests; arrivals
 beyond that are tail-dropped and accounted per port, in the style of the
 drop accounting :mod:`repro.hw.nic` does for bounded receive queues.
-The switch deliberately models only the downlink direction: response
+Switches deliberately model only the downstream direction: response
 traffic leaves the latency measurement at the server (the paper measures
 server-side latency), so modelling it would only dilute the signal the
-cluster tier studies.
+cluster and datacenter tiers study.
+
+:class:`SwitchCore` carries the whole mechanism; the concrete tiers
+differ only in trace labels, default metric prefix, and port-speed
+defaults.  :class:`ToRSwitch` (rack downlinks, this module) and
+:class:`repro.datacenter.spine.SpineSwitch` (rack-facing spine ports)
+are both thin parameterizations of the same core, so their timing and
+drop semantics can never drift apart.
 """
 
 from __future__ import annotations
@@ -43,17 +48,22 @@ DeliverFn = Callable[[Request], None]
 DropFn = Callable[[Request, int], None]
 
 
-class ToRSwitch:
-    """An output-queued top-of-rack switch with bounded per-port buffers.
+class SwitchCore:
+    """An output-queued switch stage with bounded per-port buffers.
+
+    Subclasses parameterize the trace vocabulary (``track``,
+    ``queue_mark``, ``tx_mark``) and the default metrics prefix; the
+    forwarding mechanics -- serialization, queueing, tail-drop,
+    partition blackholing, fault knobs -- live here once.
 
     Parameters
     ----------
     sim:
         The shared simulation kernel.
     n_ports:
-        Number of server-facing downlink ports.
+        Number of downstream-facing egress ports.
     bandwidth_gbps:
-        Downlink bandwidth per port; sets the serialization time of each
+        Bandwidth per port; sets the serialization time of each
         forwarded request (``size_bytes * 8 / bandwidth_gbps`` ns).
     forward_latency_ns:
         Fixed switching-pipeline + propagation latency added after the
@@ -65,6 +75,14 @@ class ToRSwitch:
         Called as ``on_drop(request, port)`` for every tail-dropped
         request, after the switch's own accounting.
     """
+
+    #: Trace span track and mark names; subclasses override so a mixed
+    #: ToR+spine trace stays readable.
+    track = "switch"
+    queue_mark = "switch_queue"
+    tx_mark = "switch_tx"
+    #: Default instrument prefix for :meth:`register_metrics`.
+    metrics_prefix = "switch"
 
     def __init__(
         self,
@@ -115,8 +133,10 @@ class ToRSwitch:
         self.queue_wait_ns: float = 0.0
         self._trace = trace_sink()
 
-    def register_metrics(self, registry, prefix: str = "cluster.switch") -> None:
-        """Register bound ToR accounting instruments into ``registry``."""
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Register bound switch accounting instruments into ``registry``."""
+        if prefix is None:
+            prefix = self.metrics_prefix
         registry.counter(f"{prefix}.forwarded", fn=lambda: self.forwarded)
         registry.counter(f"{prefix}.dropped", fn=lambda: self.dropped)
         registry.counter(
@@ -143,13 +163,13 @@ class ToRSwitch:
         return base
 
     def set_port_bandwidth_factor(self, port: int, factor: float) -> None:
-        """Throttle (or restore) one downlink: 0 < factor <= 1."""
+        """Throttle (or restore) one port: 0 < factor <= 1."""
         if not 0 < factor <= 1.0:
             raise ValueError(f"bandwidth factor must be in (0, 1], got {factor}")
         self._bw_factor[port] = float(factor)
 
     def set_port_partitioned(self, port: int, partitioned: bool) -> None:
-        """Partition (or heal) one downlink; partitioned ports blackhole."""
+        """Partition (or heal) one port; partitioned ports blackhole."""
         self._partitioned[port] = bool(partitioned)
 
     def port_partitioned(self, port: int) -> bool:
@@ -162,7 +182,7 @@ class ToRSwitch:
     # ------------------------------------------------------------------
     def forward(self, request: Request, port: int, deliver: DeliverFn) -> bool:
         """Forward ``request`` out of ``port``; ``deliver`` fires when it
-        reaches the server NIC.  Returns False when tail-dropped."""
+        reaches the downstream NIC.  Returns False when tail-dropped."""
         if not 0 <= port < self.n_ports:
             raise ValueError(f"port {port} out of range [0, {self.n_ports})")
         if self._partitioned[port]:
@@ -196,11 +216,11 @@ class ToRSwitch:
         trace = self._trace
         if trace.enabled:
             # Every endpoint of this request's switch transit is known
-            # here; the server's own marks pick up at delivery time.
+            # here; the downstream marks pick up at delivery time.
             if trace.sampled(request.req_id):
-                trace.mark(request.req_id, "tor_queue", now)
-                trace.mark(request.req_id, "tor_tx", start)
-            trace.span("tor", port, "tx", start, done)
+                trace.mark(request.req_id, self.queue_mark, now)
+                trace.mark(request.req_id, self.tx_mark, start)
+            trace.span(self.track, port, "tx", start, done)
         self.sim.schedule(done - now, self._tx_done, request, port, deliver)
         return True
 
@@ -213,6 +233,21 @@ class ToRSwitch:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<ToRSwitch ports={self.n_ports} forwarded={self.forwarded} "
-            f"dropped={self.dropped}>"
+            f"<{type(self).__name__} ports={self.n_ports} "
+            f"forwarded={self.forwarded} dropped={self.dropped}>"
         )
+
+
+class ToRSwitch(SwitchCore):
+    """The top-of-rack switch: the core with ToR trace/metric labels.
+
+    Sits between the rack's load generator and its N servers; each
+    egress port is one server downlink.  Constructor, defaults, and
+    timing are exactly the shared core's -- this subclass only names
+    things, so pre-refactor rack fingerprints are byte-identical.
+    """
+
+    track = "tor"
+    queue_mark = "tor_queue"
+    tx_mark = "tor_tx"
+    metrics_prefix = "cluster.switch"

@@ -1,0 +1,41 @@
+"""The datacenter tier: a spine-leaf fabric of racks on one simulator.
+
+Recursion of the cluster tier's pattern one level up: a
+:class:`Datacenter` steers requests across R :class:`RackCluster` leaves
+through a :class:`SpineSwitch`, and duck-types
+:class:`~repro.schedulers.base.RpcSystem` so every existing tool --
+:func:`repro.api.quick_run` (system name ``"datacenter"``), the sweep
+runner, ``--trace``, ``--faults`` -- drives a whole fabric unchanged.
+Pair with :mod:`repro.workload.tenants` for production-shaped
+multi-tenant traffic.
+"""
+
+from repro.datacenter.metrics import (
+    datacenter_summary,
+    per_rack_completed,
+    register_datacenter_instruments,
+)
+from repro.datacenter.spine import (
+    DEFAULT_SPINE_BANDWIDTH_GBPS,
+    DEFAULT_SPINE_FORWARD_LATENCY_NS,
+    DEFAULT_SPINE_PORT_QUEUE_DEPTH,
+    SpineSwitch,
+)
+from repro.datacenter.topology import (
+    Datacenter,
+    DatacenterConfig,
+    build_topology,
+)
+
+__all__ = [
+    "Datacenter",
+    "DatacenterConfig",
+    "build_topology",
+    "SpineSwitch",
+    "DEFAULT_SPINE_BANDWIDTH_GBPS",
+    "DEFAULT_SPINE_FORWARD_LATENCY_NS",
+    "DEFAULT_SPINE_PORT_QUEUE_DEPTH",
+    "datacenter_summary",
+    "per_rack_completed",
+    "register_datacenter_instruments",
+]

@@ -1,0 +1,120 @@
+"""Datacenter-wide measurement: cross-rack imbalance, steering, tenants.
+
+The fabric tier's evaluation questions recurse the rack tier's one level
+up -- how unevenly did load land across *racks*, what did inter-rack
+steering decide, which tenants kept their SLOs -- so this module mirrors
+:mod:`repro.cluster.metrics` at datacenter scope:
+
+* :func:`datacenter_summary` -- the flat dict the datacenter writes
+  through ``stats.scoped("datacenter")`` at shutdown.
+* :func:`register_datacenter_instruments` -- the same quantities as live
+  ``datacenter.*`` instruments, snapshot with every registry export.
+* :func:`register_tenant_instruments` -- per-tenant SLO accounting under
+  ``tenant.<name>.*``, fed by the datacenter's completion path.
+
+Per-rack detail needs no code here: the datacenter registry attaches
+each rack's registry as a ``rack<i>`` child, so one snapshot already
+contains ``rack<i>.cluster.*`` and ``rack<i>.srv<j>.*`` for free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.cluster.metrics import imbalance_index
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datacenter.topology import Datacenter
+    from repro.telemetry import MetricRegistry
+
+
+def per_rack_completed(dc: "Datacenter") -> List[int]:
+    """Completed-request count per rack."""
+    return [rack.stats.completed for rack in dc.racks]
+
+
+def datacenter_summary(dc: "Datacenter") -> Dict[str, Union[int, float]]:
+    """Flat metrics the datacenter writes via ``stats.scoped("datacenter")``.
+
+    Keys mirror the rack tier's ``cluster.*`` vocabulary one level up:
+
+    * ``imbalance_index`` -- max/mean of per-rack completions.
+    * ``steer_imbalance`` -- max/mean of inter-rack steering decisions.
+    * ``steer_rack<i>`` -- requests steered to each rack.
+    * ``spine_dropped`` / ``spine_queue_wait_ns`` -- spine accounting.
+    * ``steer_refreshes`` / ``steer_samples`` -- telemetry the inter-rack
+      policy consumed, when the policy tracks it.
+    """
+    summary: Dict[str, Union[int, float]] = {
+        "imbalance_index": imbalance_index(per_rack_completed(dc)),
+        "steer_imbalance": imbalance_index(dc.policy.decisions),
+        "spine_dropped": int(dc.spine.dropped),
+        "spine_queue_wait_ns": dc.spine.queue_wait_ns,
+    }
+    for i, count in enumerate(dc.policy.decisions):
+        summary[f"steer_rack{i}"] = int(count)
+    refreshes = getattr(dc.policy, "refreshes", None)
+    if refreshes is not None:
+        summary["steer_refreshes"] = int(refreshes)
+    samples = getattr(dc.policy, "samples_taken", None)
+    if samples is not None:
+        summary["steer_samples"] = int(samples)
+    return summary
+
+
+def register_datacenter_instruments(
+    dc: "Datacenter", registry: "MetricRegistry"
+) -> None:
+    """Bind live ``datacenter.*`` instruments into ``registry``."""
+    registry.gauge(
+        "datacenter.imbalance_index",
+        fn=lambda: imbalance_index(per_rack_completed(dc)),
+    )
+    registry.gauge(
+        "datacenter.steer_imbalance",
+        fn=lambda: imbalance_index(dc.policy.decisions),
+    )
+    for i in range(len(dc.racks)):
+        registry.counter(
+            f"datacenter.steer_rack{i}",
+            fn=lambda i=i: int(dc.policy.decisions[i]),
+        )
+    refreshes = getattr(dc.policy, "refreshes", None)
+    if refreshes is not None:
+        registry.counter(
+            "datacenter.steer_refreshes",
+            fn=lambda: int(dc.policy.refreshes),
+        )
+    samples = getattr(dc.policy, "samples_taken", None)
+    if samples is not None:
+        registry.counter(
+            "datacenter.steer_samples",
+            fn=lambda: int(dc.policy.samples_taken),
+        )
+
+
+def register_tenant_instruments(
+    dc: "Datacenter", registry: "MetricRegistry"
+) -> None:
+    """Bind per-tenant SLO instruments (``tenant.<name>.*``).
+
+    Reads the datacenter's live per-tenant completion/SLO counters
+    (updated on its completion path), so snapshots mid-run show
+    attainment so far, not just the final number.
+    """
+    for t, tenant in enumerate(dc.tenant_mix.tenants):
+        prefix = f"tenant.{tenant.name}"
+        registry.counter(
+            f"{prefix}.completed", fn=lambda t=t: dc.tenant_completed[t]
+        )
+        registry.counter(
+            f"{prefix}.slo_met", fn=lambda t=t: dc.tenant_slo_met[t]
+        )
+        registry.gauge(
+            f"{prefix}.attainment",
+            fn=lambda t=t: (
+                dc.tenant_slo_met[t] / dc.tenant_completed[t]
+                if dc.tenant_completed[t]
+                else 1.0
+            ),
+        )

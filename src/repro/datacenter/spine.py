@@ -1,0 +1,77 @@
+"""The spine-switch model: rack-facing ports of the fabric layer.
+
+A :class:`SpineSwitch` is the same output-queued, store-and-forward
+machine as the ToR (:class:`repro.cluster.switch.SwitchCore` carries the
+mechanism for both); what differs is the operating point and the
+vocabulary:
+
+* each egress port faces one *rack* (its ToR uplink), not one server;
+* ports are faster (400 GbE class) and may aggregate ``spine_links``
+  parallel links into one logical rack port -- the "L spine links" knob
+  of the topology, modelled as an L-fold bandwidth multiple rather than
+  L separate serializers, which keeps per-request ordering deterministic
+  and matches how ECMP spreads a single rack's flows across links;
+* the forwarding pipeline is longer (an extra fabric hop's propagation);
+* buffers are deeper, as spine silicon's shared packet buffers are.
+
+Trace spans land on the ``"spine"`` track with ``spine_queue`` /
+``spine_tx`` marks, so a Chrome trace of a datacenter run shows both
+fabric layers of a request's journey distinctly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.switch import DropFn, SwitchCore
+from repro.sim.engine import Simulator
+
+#: Default per-link bandwidth: 400 GbE spine ports (4x the ToR default).
+DEFAULT_SPINE_BANDWIDTH_GBPS = 400.0
+
+#: Default spine forwarding latency: switching pipeline plus the longer
+#: spine-to-ToR propagation of an extra fabric hop.
+DEFAULT_SPINE_FORWARD_LATENCY_NS = 500.0
+
+#: Default per-port buffer, in requests (spine buffers run deep).
+DEFAULT_SPINE_PORT_QUEUE_DEPTH = 1024
+
+
+class SpineSwitch(SwitchCore):
+    """A spine-layer switch stage with one logical port per rack.
+
+    Parameters are the shared core's, plus ``spine_links``: the number
+    of parallel physical links aggregated into each rack-facing port
+    (effective port bandwidth is ``bandwidth_gbps * spine_links``).
+    """
+
+    track = "spine"
+    queue_mark = "spine_queue"
+    tx_mark = "spine_tx"
+    metrics_prefix = "datacenter.spine"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        bandwidth_gbps: float = DEFAULT_SPINE_BANDWIDTH_GBPS,
+        forward_latency_ns: float = DEFAULT_SPINE_FORWARD_LATENCY_NS,
+        port_queue_depth: Optional[int] = DEFAULT_SPINE_PORT_QUEUE_DEPTH,
+        spine_links: int = 1,
+        on_drop: Optional[DropFn] = None,
+    ) -> None:
+        if spine_links <= 0:
+            raise ValueError(
+                f"need at least one spine link, got {spine_links}"
+            )
+        self.spine_links = int(spine_links)
+        #: Per-physical-link bandwidth, before aggregation.
+        self.link_bandwidth_gbps = float(bandwidth_gbps)
+        super().__init__(
+            sim,
+            n_ports,
+            bandwidth_gbps=bandwidth_gbps * self.spine_links,
+            forward_latency_ns=forward_latency_ns,
+            port_queue_depth=port_queue_depth,
+            on_drop=on_drop,
+        )

@@ -31,7 +31,11 @@ from repro.experiments.registry import (
 )
 
 #: Friendly aliases accepted on the command line.
-ALIASES = {"rack": "fig_rack", "chaos": "fig_chaos"}
+ALIASES = {
+    "rack": "fig_rack",
+    "chaos": "fig_chaos",
+    "datacenter": "fig_datacenter",
+}
 
 
 class UnknownExperimentError(ValueError):
@@ -51,7 +55,8 @@ def resolve_ids(experiment: str) -> List[str]:
     if exp_id not in list_experiments():
         raise UnknownExperimentError(
             f"unknown experiment {experiment!r}\n"
-            f"available: {' '.join(list_experiments())} (or 'all')"
+            f"available: {' '.join(list_experiments())} "
+            f"(aliases: {' '.join(sorted(ALIASES))}; or 'all')"
         )
     return [exp_id]
 

@@ -77,8 +77,8 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
     ),
     # Not paper artifacts: the design-choice ablations DESIGN.md lists,
     # the closed-form queueing validation behind every measurement, and
-    # the rack-scale cluster tier that grows the reproduction beyond one
-    # server.
+    # the rack- and datacenter-scale tiers that grow the reproduction
+    # beyond one server.
     "ablations": ExperimentInfo(
         "repro.experiments.ablations",
         "design-choice ablations over the Altocumulus mechanism set",
@@ -94,6 +94,10 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
     "fig_chaos": ExperimentInfo(
         "repro.experiments.fig_chaos",
         "fault injection: mid-run server crash vs steering policies",
+    ),
+    "fig_datacenter": ExperimentInfo(
+        "repro.experiments.fig_datacenter",
+        "datacenter tier: inter-rack steering x multi-tenant skew",
     ),
 }
 

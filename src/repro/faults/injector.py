@@ -76,11 +76,15 @@ class FaultInjector:
         if registry is None:
             registry = MetricRegistry()
         self.registry = registry
-        # Rack vs single server: a rack exposes `servers` and `switch`.
+        # Tier detection by duck attributes: a rack exposes `servers`
+        # and `switch`; a datacenter exposes `servers` (its racks --
+        # this tier's unit of failure) and `spine`.  Either way the
+        # entries of `servers` are what crash/blackhole faults address.
         servers = getattr(system, "servers", None)
         self._is_rack = servers is not None
         self._servers = list(servers) if self._is_rack else [system]
         self._switch = getattr(system, "switch", None)
+        self._spine = getattr(system, "spine", None)
         health = getattr(system, "health", None)
         if health is None or not isinstance(health, HealthView):
             health = HealthView(len(self._servers))
@@ -108,6 +112,8 @@ class FaultInjector:
         self._m_core_stalls = counter("faults.core_stalls")
         self._m_tor_degrades = counter("faults.tor_degrades")
         self._m_partitions = counter("faults.tor_partitions")
+        self._m_spine_degrades = counter("faults.spine_degrades")
+        self._m_spine_partitions = counter("faults.spine_partitions")
         self._m_manager_fails = counter("faults.manager_fails")
         self._m_in_flight_forgotten = counter("faults.in_flight_forgotten")
         self._m_orphans_redispatched = counter("faults.orphans_redispatched")
@@ -137,6 +143,8 @@ class FaultInjector:
                 deliver[idx] = self._make_guard(idx, deliver[idx])
             if self._switch is not None:
                 self._switch.on_partition_drop = self.on_partition_drop
+            if self._spine is not None:
+                self._spine.on_partition_drop = self.on_partition_drop
         else:
             # Single server: everything the client sends flows through
             # one guard in front of the system's NIC.
@@ -256,7 +264,11 @@ class FaultInjector:
     # -- core stall / straggler ----------------------------------------
     def _on_core_stall(self, event: FaultEvent) -> bool:
         self._check_server(event)
-        cores = self._servers[event.target].cores
+        cores = getattr(self._servers[event.target], "cores", None)
+        if cores is None:
+            # The targeted unit has no directly addressable cores (a
+            # rack inside a datacenter): structurally inapplicable.
+            return False
         if not 0 <= event.subtarget < len(cores):
             raise FaultPlanError(
                 f"core_stall core {event.subtarget} out of range "
@@ -270,7 +282,10 @@ class FaultInjector:
 
     def _on_core_resume(self, event: FaultEvent) -> bool:
         self._check_server(event)
-        self._servers[event.target].cores[event.subtarget].slowdown = 1.0
+        cores = getattr(self._servers[event.target], "cores", None)
+        if cores is None:
+            return False
+        cores[event.subtarget].slowdown = 1.0
         self.health.remove_degraded(event.target)
         self._window_close("core_stall", event.target, event.subtarget)
         return True
@@ -310,6 +325,44 @@ class FaultInjector:
         self._switch.set_port_partitioned(event.target, False)
         self.health.set_down(event.target, False)
         self._window_close("tor_partition", event.target, 0)
+        return True
+
+    # -- spine port faults (datacenter only) ---------------------------
+    def _on_spine_degrade(self, event: FaultEvent) -> bool:
+        if self._spine is None:
+            return False
+        self._spine.set_port_bandwidth_factor(event.target, event.magnitude)
+        self.health.add_degraded(event.target)
+        self._m_spine_degrades.value += 1
+        self._window_open("spine_degrade", event.target, 0)
+        return True
+
+    def _on_spine_restore(self, event: FaultEvent) -> bool:
+        if self._spine is None:
+            return False
+        self._spine.set_port_bandwidth_factor(event.target, 1.0)
+        self.health.remove_degraded(event.target)
+        self._window_close("spine_degrade", event.target, 0)
+        return True
+
+    def _on_spine_partition(self, event: FaultEvent) -> bool:
+        if self._spine is None:
+            return False
+        self._spine.set_port_partitioned(event.target, True)
+        # A partitioned spine port cuts off the whole rack behind it:
+        # unreachable, responses lost -- a rack-granular crash as far as
+        # the client and the inter-rack steering layer can tell.
+        self.health.set_down(event.target, True)
+        self._m_spine_partitions.value += 1
+        self._window_open("spine_partition", event.target, 0)
+        return True
+
+    def _on_spine_heal(self, event: FaultEvent) -> bool:
+        if self._spine is None:
+            return False
+        self._spine.set_port_partitioned(event.target, False)
+        self.health.set_down(event.target, False)
+        self._window_close("spine_partition", event.target, 0)
         return True
 
     def on_partition_drop(self, request: Request, port: int) -> None:

@@ -27,8 +27,16 @@ kind                target / subtarget      magnitude
 ``nic_drop``        server index            drop probability in (0, 1]
 ``tor_degrade``     switch port             bandwidth factor in (0, 1)
 ``tor_partition``   switch port             --  (silent blackhole)
+``spine_degrade``   spine port (rack idx)   bandwidth factor in (0, 1)
+``spine_partition`` spine port (rack idx)   --  (silent blackhole)
 ``manager_fail``    server idx / group idx  --  (one-shot, no pair)
 ==================  ======================  =================================
+
+The ``spine_*`` kinds target the datacenter tier's spine switch (one
+port per rack); against a system with no spine they are structurally
+inapplicable and counted as skipped, exactly like ``tor_*`` kinds
+against a single server.  At the datacenter tier, ``server_crash`` and
+friends address *racks* (the tier's unit of failure).
 
 A ``duration_ns`` on a window kind expands into the paired recovery
 event; one-shot kinds (``manager_fail``) take no duration.
@@ -48,6 +56,8 @@ PAIRED_KINDS: Dict[str, str] = {
     "nic_drop": "nic_drop_stop",
     "tor_degrade": "tor_restore",
     "tor_partition": "tor_heal",
+    "spine_degrade": "spine_restore",
+    "spine_partition": "spine_heal",
 }
 
 #: Recovery kinds, mapping back to the window they close.
@@ -66,6 +76,7 @@ _MAGNITUDE_RANGE = {
     "core_stall": (1.0, float("inf")),  # slowdown factor
     "nic_drop": (0.0, 1.0),  # drop probability (0 excluded below)
     "tor_degrade": (0.0, 1.0),  # bandwidth factor (both ends excluded)
+    "spine_degrade": (0.0, 1.0),  # bandwidth factor (both ends excluded)
 }
 
 
@@ -165,9 +176,12 @@ class FaultEvent:
         if rng is not None:
             lo, hi = rng
             if not lo <= self.magnitude <= hi or (
-                self.kind in ("nic_drop", "tor_degrade")
+                self.kind in ("nic_drop", "tor_degrade", "spine_degrade")
                 and not 0 < self.magnitude
-            ) or (self.kind == "tor_degrade" and self.magnitude >= 1.0):
+            ) or (
+                self.kind in ("tor_degrade", "spine_degrade")
+                and self.magnitude >= 1.0
+            ):
                 raise FaultPlanError(
                     f"{self.kind!r} magnitude {self.magnitude} out of range"
                 )

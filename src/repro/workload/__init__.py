@@ -26,11 +26,19 @@ from repro.workload.service import (
 from repro.workload.arrivals import (
     ArrivalProcess,
     DeterministicArrivals,
+    DriftingMMPPArrivals,
     MMPPArrivals,
     PoissonArrivals,
     TraceArrivals,
 )
 from repro.workload.connections import ConnectionPool
+from repro.workload.tenants import (
+    SuperposedArrivals,
+    TenantClass,
+    TenantConnectionPool,
+    TenantMix,
+    tenant_slo_summary,
+)
 from repro.workload.generator import LoadGenerator
 from repro.workload.closed_loop import ClosedLoopGenerator
 from repro.workload.cloud import RateSeriesArrivals, synthesize_rate_series
@@ -50,8 +58,14 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "MMPPArrivals",
+    "DriftingMMPPArrivals",
     "TraceArrivals",
     "ConnectionPool",
+    "TenantClass",
+    "TenantMix",
+    "TenantConnectionPool",
+    "SuperposedArrivals",
+    "tenant_slo_summary",
     "LoadGenerator",
     "ClosedLoopGenerator",
     "RateSeriesArrivals",

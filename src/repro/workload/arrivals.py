@@ -196,6 +196,82 @@ class MMPPArrivals(ArrivalProcess):
         )
 
 
+class DriftingMMPPArrivals(ArrivalProcess):
+    """Diurnal/drifting rate modulation on top of the two-state MMPP.
+
+    Real datacenter traffic is non-stationary on two timescales: the
+    microsecond burstiness the MMPP captures, and a slow drift (diurnal
+    cycles, deployment waves) that moves the *mean* around it.  This
+    process wraps :class:`MMPPArrivals` and rescales each emitted gap by
+    a sinusoidal rate envelope::
+
+        rate(t) = rate_rps * (1 + amplitude * sin(2*pi*t/period_ns + phase))
+
+    Gap rescaling divides each MMPP gap by the envelope at the gap's
+    *start* instant -- a first-order approximation that is exact in the
+    limit of gaps short against ``period_ns`` (the operating regime:
+    ns-scale gaps under ms-scale drift).  The long-run mean rate stays
+    ``rate_rps`` because the envelope averages to 1.
+
+    Parameters
+    ----------
+    rate_rps:
+        Long-run mean request rate.
+    period_ns:
+        Drift period.  Defaults to 1 ms of simulated time -- "diurnal"
+        compressed so short runs still sweep a full cycle.
+    amplitude:
+        Peak-to-mean swing, in [0, 1): 0.3 means the instantaneous rate
+        wanders between 0.7x and 1.3x the mean.
+    phase:
+        Starting phase in radians (0 starts at the mean, rising).
+    **mmpp_kwargs:
+        Passed through to :class:`MMPPArrivals` (burst_factor,
+        calm_fraction, mean_dwell_ns, batch_mean).
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        period_ns: float = 1e6,
+        amplitude: float = 0.3,
+        phase: float = 0.0,
+        **mmpp_kwargs: float,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError(f"period_ns must be positive, got {period_ns}")
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        self.base = MMPPArrivals(rate_rps, **mmpp_kwargs)
+        self.rate_rps = float(rate_rps)
+        self.period_ns = float(period_ns)
+        self.amplitude = float(amplitude)
+        self.phase = float(phase)
+        self._omega = 2.0 * np.pi / self.period_ns
+        self._now_ns = 0.0
+
+    def envelope(self, t_ns: float) -> float:
+        """The instantaneous rate multiplier at simulated time ``t_ns``."""
+        return 1.0 + self.amplitude * float(
+            np.sin(self._omega * t_ns + self.phase)
+        )
+
+    def next_gap(self, rng: np.random.Generator) -> float:
+        gap = self.base.next_gap(rng) / self.envelope(self._now_ns)
+        self._now_ns += gap
+        return gap
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate_rps / 1e9
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DriftingMMPPArrivals {self.rate_rps / 1e6:.2f} MRPS "
+            f"+/-{self.amplitude:.0%} over {self.period_ns / 1e6:.2f} ms>"
+        )
+
+
 class TraceArrivals(ArrivalProcess):
     """Replays recorded inter-arrival gaps, cycling when exhausted."""
 

@@ -23,12 +23,17 @@ from repro.api import quick_run
 from repro.faults import FaultEvent, FaultPlan, RetryPolicy
 
 #: The systems the golden file covers (d-FCFS, JBSQ, RSS++,
-#: work stealing, Altocumulus) plus the rack-scale cluster tier.  The
-#: five single-server entries were captured from the pre-optimization
-#: engine; the "rack" entry was captured when the cluster tier was
-#: introduced and pins switch timing, steering decisions, and per-server
-#: stream spawning ever since.
-GOLDEN_SYSTEMS = ("rss", "rpcvalet", "rsspp", "zygos", "altocumulus", "rack")
+#: work stealing, Altocumulus) plus the rack-scale cluster tier and the
+#: datacenter fabric tier.  The five single-server entries were captured
+#: from the pre-optimization engine; the "rack" entry was captured when
+#: the cluster tier was introduced and pins switch timing, steering
+#: decisions, and per-server stream spawning ever since; the
+#: "datacenter" entry was captured when the fabric tier was introduced
+#: and additionally pins spine timing, inter-rack steering, and
+#: per-rack stream spawning.
+GOLDEN_SYSTEMS = (
+    "rss", "rpcvalet", "rsspp", "zygos", "altocumulus", "rack", "datacenter",
+)
 
 #: Faulted golden entries: the same fixed workload driven through the
 #: fault-injection subsystem (retrying client + injector).  These pin

@@ -29,7 +29,7 @@ class TestRegistry:
             "fig01", "fig03", "tab1", "fig07", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "tab2_tab3", "ablations", "validation", "fig_rack",
-            "fig_chaos",
+            "fig_chaos", "fig_datacenter",
         ]
 
     def test_unknown_experiment_rejected(self):
@@ -67,16 +67,32 @@ class TestRegistry:
 
         assert resolve_ids("all") == list_experiments()
 
-    def test_cli_rack_alias_resolves(self):
-        from repro.experiments.cli import resolve_ids
+    def test_cli_aliases_resolve(self):
+        from repro.experiments.cli import ALIASES, resolve_ids
 
         assert resolve_ids("rack") == ["fig_rack"]
+        assert resolve_ids("chaos") == ["fig_chaos"]
+        assert resolve_ids("datacenter") == ["fig_datacenter"]
+        for alias, exp_id in ALIASES.items():
+            assert resolve_ids(alias) == [exp_id]
+
+    def test_cli_every_alias_targets_a_registered_id(self):
+        from repro.experiments.cli import ALIASES
+
+        for exp_id in ALIASES.values():
+            assert exp_id in list_experiments()
 
     def test_cli_unknown_id_raises_cleanly(self):
-        from repro.experiments.cli import UnknownExperimentError, resolve_ids
+        from repro.experiments.cli import ALIASES, UnknownExperimentError, resolve_ids
 
         with pytest.raises(UnknownExperimentError, match="fig99"):
             resolve_ids("fig99")
+        # The error text advertises the aliases alongside the ids.
+        try:
+            resolve_ids("fig99")
+        except UnknownExperimentError as exc:
+            for alias in ALIASES:
+                assert alias in str(exc)
 
 
 class TestRuns:
