@@ -20,11 +20,12 @@ bench:
 ## Regression gate: re-run the two gated microbenchmarks and fail if
 ## stats.min regressed >2% against BENCH_BASELINE (a same-machine
 ## pytest-benchmark JSON; defaults to the committed baseline).
-BENCH_BASELINE ?= BENCH_20260806T213941Z.json
-BENCH_GATED = test_event_heap_throughput,test_full_system_simulation_rate
+BENCH_BASELINE ?= BENCH_20260808T224955Z.json
+BENCH_GATED = test_event_heap_throughput,test_full_system_simulation_rate,test_bench_sharded_datacenter
 bench-gate:
-	$(PYTHON) -m pytest benchmarks/test_engine_perf.py --benchmark-only -q \
-		-k "event_heap_throughput or full_system_simulation_rate" \
+	$(PYTHON) -m pytest benchmarks/test_engine_perf.py benchmarks/test_sharded.py \
+		--benchmark-only -q \
+		-k "event_heap_throughput or full_system_simulation_rate or bench_sharded_datacenter" \
 		--benchmark-json=BENCH_gate_candidate.json
 	$(PYTHON) tools/compare_bench.py $(BENCH_BASELINE) \
 		BENCH_gate_candidate.json --benchmarks $(BENCH_GATED)

@@ -1,0 +1,128 @@
+"""Datacenter-tier benchmarks: the sharded parallel-in-time fabric.
+
+Three configurations of the same fig_datacenter-shaped workload (skewed
+tenant mix, shortest-wait inter-rack steering, 4 racks x 4 servers x 8
+cores at 70% load):
+
+* ``serial`` -- the plain engine, the baseline every mode is measured
+  against;
+* ``overhead`` -- one in-process shard behind the window coordinator:
+  the honest cost of the window/replay machinery itself, with zero
+  transport and zero parallelism;
+* the headline ``test_bench_sharded_datacenter`` -- 4 shards in worker
+  processes, the speedup configuration.
+
+Every sharded run is asserted bit-identical to the serial baseline
+(that is the mode's contract; a fast wrong answer must fail the bench).
+``extra_info`` records the ``shard.*`` overhead instruments (windows,
+cross-shard messages, barrier-stall wall time) plus the host's usable
+CPU count, so a committed ``BENCH_*.json`` explains any gap to linear
+scaling by itself: on an N-CPU host the expected floor is roughly
+``serial_time / min(4, N) + barrier overhead``, and on a single-CPU
+host (this repo's recorded trajectory) process shards cannot overlap at
+all, so the 4-shard entry measures pure synchronization overhead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import run_workload
+from repro.datacenter.sharded import build_sharded_topology
+from repro.experiments.fig_datacenter import (
+    CORES_PER_SERVER,
+    LOAD_FRACTION,
+    N_RACKS,
+    N_SERVERS,
+    SERVICE_NS,
+    datacenter_builder,
+    tenant_pool,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.sharded import ShardedSimulator
+
+N_REQUESTS = 40_000
+SEED = 3
+RATE_RPS = (
+    LOAD_FRACTION * N_RACKS * N_SERVERS * CORES_PER_SERVER / SERVICE_NS * 1e9
+)
+
+
+def _run(shards=None, mode="process"):
+    from repro.workload.arrivals import PoissonArrivals
+    from repro.workload.service import Exponential
+
+    streams = RandomStreams(SEED)
+    if shards is None:
+        sim = Simulator()
+        system = datacenter_builder(sim, streams, mix="skewed")
+    else:
+        sim = ShardedSimulator()
+        config = datacenter_builder(
+            Simulator(), RandomStreams(SEED), mix="skewed"
+        ).config
+        system = build_sharded_topology(sim, streams, config, shards,
+                                        mode=mode)
+    return run_workload(
+        system,
+        sim,
+        streams,
+        PoissonArrivals(RATE_RPS),
+        Exponential(SERVICE_NS),
+        n_requests=N_REQUESTS,
+        connections=tenant_pool("skewed"),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """One untimed serial run; the bit-identity oracle for every mode."""
+    result = _run()
+    return (result.latency.p99, result.throughput_rps, result.utilization,
+            result.dropped)
+
+
+def _assert_identical(result, reference):
+    assert (result.latency.p99, result.throughput_rps, result.utilization,
+            result.dropped) == reference
+
+
+def _record_overheads(benchmark, result):
+    metrics = result.metrics
+    benchmark.extra_info["shard_windows"] = metrics["shard.windows"]
+    benchmark.extra_info["shard_messages_out"] = metrics["shard.messages_out"]
+    benchmark.extra_info["shard_messages_in"] = metrics["shard.messages_in"]
+    benchmark.extra_info["barrier_stall_s"] = (
+        metrics["shard.barrier_stall_ns"] / 1e9
+    )
+    benchmark.extra_info["usable_cpus"] = len(os.sched_getaffinity(0))
+
+
+def test_bench_sharded_datacenter_serial(benchmark, serial_reference):
+    """The serial fabric baseline (also the datacenter tier's first
+    entry in the bench trajectory)."""
+    result = benchmark.pedantic(_run, rounds=2, iterations=1)
+    _assert_identical(result, serial_reference)
+
+
+def test_bench_sharded_datacenter_overhead(benchmark, serial_reference):
+    """Single in-process shard: the window machinery's own cost.  The
+    acceptance budget is <=5% over serial; in practice the per-rack
+    event heaps are smaller than the serial engine's global heap, so
+    this configuration tends to come in *under* the baseline."""
+    result = benchmark.pedantic(
+        lambda: _run(shards=1, mode="inprocess"), rounds=2, iterations=1
+    )
+    _assert_identical(result, serial_reference)
+
+
+def test_bench_sharded_datacenter(benchmark, serial_reference):
+    """The headline: 4 process shards, one per rack group."""
+    result = benchmark.pedantic(
+        lambda: _run(shards=4, mode="process"), rounds=2, iterations=1
+    )
+    _assert_identical(result, serial_reference)
+    _record_overheads(benchmark, result)

@@ -126,17 +126,16 @@ def _default_rack(sim: Simulator, streams: RandomStreams, n_cores: int):
     return build_rack(sim, streams, config)
 
 
-def _default_datacenter(sim: Simulator, streams: RandomStreams, n_cores: int):
-    """The fabric tier behind the one-server API: ``n_cores`` total
-    cores split over 2 racks x 2 Altocumulus servers (one rack of one
-    server when the count doesn't divide), with power-of-two steering
-    inside each rack and shortest-expected-wait steering across racks.
-    Full control over fabric shape lives in :mod:`repro.datacenter`."""
+def _default_datacenter_config(n_cores: int):
+    """Fabric shape behind the one-server API: ``n_cores`` total cores
+    split over 2 racks x 2 Altocumulus servers (one rack of one server
+    when the count doesn't divide), with power-of-two steering inside
+    each rack and shortest-expected-wait steering across racks."""
     from repro.cluster.topology import RackConfig
-    from repro.datacenter.topology import DatacenterConfig, build_topology
+    from repro.datacenter.topology import DatacenterConfig
 
     n_racks, n_servers = (2, 2) if n_cores % 4 == 0 and n_cores >= 8 else (1, 1)
-    config = DatacenterConfig(
+    return DatacenterConfig(
         n_racks=n_racks,
         rack=RackConfig(
             n_servers=n_servers,
@@ -147,7 +146,14 @@ def _default_datacenter(sim: Simulator, streams: RandomStreams, n_cores: int):
         ),
         policy="shortest_wait",
     )
-    return build_topology(sim, streams, config)
+
+
+def _default_datacenter(sim: Simulator, streams: RandomStreams, n_cores: int):
+    """The fabric tier behind the one-server API; full control over
+    fabric shape lives in :mod:`repro.datacenter`."""
+    from repro.datacenter.topology import build_topology
+
+    return build_topology(sim, streams, _default_datacenter_config(n_cores))
 
 
 def _default_ac_config(n_cores: int) -> AltocumulusConfig:
@@ -264,12 +270,37 @@ def quick_run(
     seed: int = 1,
     service: Optional[ServiceDistribution] = None,
     faults: Optional[FaultPlan] = None,
+    shards: Optional[int] = None,
+    shard_mode: str = "process",
 ) -> SimulationResult:
     """One-call simulation: Poisson arrivals, exponential service by
-    default, 10% warmup discarded."""
-    sim = Simulator()
+    default, 10% warmup discarded.
+
+    ``shards`` switches the datacenter tier to sharded parallel-in-time
+    execution (see :mod:`repro.datacenter.sharded`); results are
+    bit-identical to the serial run.  ``shards=1`` is the sharded
+    machinery with one shard (the overhead baseline), ``None`` (default)
+    is the plain serial engine.  ``shard_mode`` is ``"process"`` or
+    ``"inprocess"``.
+    """
     streams = RandomStreams(seed)
-    built = build_system(system, sim, streams, n_cores)
+    if shards is not None:
+        if system != "datacenter":
+            raise ValueError(
+                f"shards is only supported for system='datacenter', "
+                f"got {system!r}"
+            )
+        from repro.datacenter.sharded import build_sharded_topology
+        from repro.sim.sharded import ShardedSimulator
+
+        sim = ShardedSimulator()
+        built = build_sharded_topology(
+            sim, streams, _default_datacenter_config(n_cores),
+            shards, mode=shard_mode,
+        )
+    else:
+        sim = Simulator()
+        built = build_system(system, sim, streams, n_cores)
     return run_workload(
         built,
         sim,

@@ -60,13 +60,16 @@ class RunnerConfig:
     behavior), 0 = one per CPU. ``use_cache``: consult/populate the
     content-addressed result cache. ``cache_dir``: cache root (``None``
     = :func:`repro.runner.cache.default_cache_dir`). ``progress``:
-    live progress lines on stderr.
+    live progress lines on stderr. ``shards``: sharded parallel-in-time
+    execution of datacenter points (>1 stamps every eligible spec; see
+    :func:`repro.runner.runner.run_points`).
     """
 
     jobs: int = 1
     use_cache: bool = False
     cache_dir: Optional[str] = None
     progress: bool = False
+    shards: int = 1
     counters: SweepCounters = field(default_factory=SweepCounters)
 
     @property
@@ -87,6 +90,7 @@ def configure(
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[bool] = None,
+    shards: Optional[int] = None,
 ) -> RunnerConfig:
     """Update the process-wide configuration; ``None`` leaves a knob as-is."""
     if jobs is not None:
@@ -97,6 +101,8 @@ def configure(
         _CONFIG.cache_dir = cache_dir
     if progress is not None:
         _CONFIG.progress = bool(progress)
+    if shards is not None:
+        _CONFIG.shards = int(shards)
     return _CONFIG
 
 
@@ -106,13 +112,14 @@ def overrides(
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[bool] = None,
+    shards: Optional[int] = None,
 ) -> Iterator[RunnerConfig]:
     """Temporarily override configuration knobs (tests, benchmarks)."""
     saved = (_CONFIG.jobs, _CONFIG.use_cache, _CONFIG.cache_dir,
-             _CONFIG.progress)
+             _CONFIG.progress, _CONFIG.shards)
     try:
         yield configure(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
-                        progress=progress)
+                        progress=progress, shards=shards)
     finally:
         (_CONFIG.jobs, _CONFIG.use_cache, _CONFIG.cache_dir,
-         _CONFIG.progress) = saved
+         _CONFIG.progress, _CONFIG.shards) = saved

@@ -40,7 +40,8 @@ from repro.workload.service import ServiceDistribution
 #: salted into every cache key alongside the package version.
 #: 2: PointResult grew the ``instruments`` telemetry-registry snapshot.
 #: 3: PointSpec/SweepSpec grew the ``faults`` FaultPlan field.
-SPEC_SCHEMA_VERSION = 3
+#: 4: PointSpec/SweepSpec grew the ``shards`` sharded-execution field.
+SPEC_SCHEMA_VERSION = 4
 
 
 class SpecError(TypeError):
@@ -163,6 +164,13 @@ class PointSpec:
     #: (``None`` = the fault-free fast path).  FaultPlan is a frozen
     #: dataclass of primitives, so it pickles and content-hashes cleanly.
     faults: Optional[FaultPlan] = None
+    #: Sharded parallel-in-time execution of the datacenter tier
+    #: (see :mod:`repro.datacenter.sharded`): >1 partitions the run
+    #: per-rack across worker processes.  Results are bit-identical to
+    #: ``shards=1`` (the serial engine); the field still participates in
+    #: the cache key so an identity regression can never replay a stale
+    #: cached result from the other execution mode.
+    shards: int = 1
     #: Free-form label for progress display and result grouping; part of
     #: the identity (two differently-tagged identical runs cache apart).
     tag: str = ""
@@ -201,6 +209,7 @@ class SweepSpec:
     size_bytes: int = 300
     slo_ns: Optional[float] = None
     faults: Optional[FaultPlan] = None
+    shards: int = 1
     tag: str = ""
 
     def points(self) -> List[PointSpec]:
@@ -220,6 +229,7 @@ class SweepSpec:
                 size_bytes=self.size_bytes,
                 slo_ns=self.slo_ns,
                 faults=self.faults,
+                shards=self.shards,
                 tag=self.tag,
             )
             for rate in self.rates_rps

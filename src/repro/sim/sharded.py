@@ -1,0 +1,296 @@
+"""Conservative parallel-in-time execution: shards, windows, barriers.
+
+The serial engine executes one event heap on one core.  This module
+splits a simulation into a *coordinator* (the main process: workload
+generation, global steering, fabric ingress) plus N *shards* (rack
+subtrees), synchronized with the classic conservative-PDES argument: a
+message injected into the fabric at time ``t`` cannot affect a remote
+shard before ``t + L``, where ``L`` is the fabric's guaranteed minimum
+transit time (:meth:`repro.cluster.switch.SwitchCore.min_transit_ns`).
+With window boundaries aligned to multiples of the lookahead ``H``,
+every cross-shard message generated inside window ``[kH, (k+1)H)`` is
+delivered at or after ``(k+1)H`` -- so all shards may execute window
+``k`` concurrently and exchange message batches only at the barrier.
+
+Bit-identity, not just statistical equivalence: the shard-side subtrees
+receive exactly the deliveries the serial run would have produced, at
+exactly the serial timestamps, driven by the same per-rack RNG streams
+-- so their event sequences are the serial ones verbatim.  The
+coordinator replays shard terminal records interleaved with its own
+events in timestamp order, landing every global side effect (completion
+hooks, retry clients, stop conditions) on the same clock the serial
+engine would have shown.
+
+This module is topology-agnostic: it knows windows, shard transports
+and the barrier loop.  What a "shard" simulates and how the coordinator
+replays its records is supplied by a *coordinator protocol* object
+(:class:`repro.datacenter.sharded.ShardedDatacenter`) and a *shard
+model* duck (``deliver`` / ``run_until`` / ``drain_records`` /
+``next_time`` / ``harvest``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import SimulationError, Simulator
+
+#: A cross-shard delivery: (delivery time, shard-local rack index,
+#: payload).  The payload is a shared Request object (in-process shards)
+#: or a packed field tuple (process shards).
+Delivery = Tuple[float, int, Any]
+
+#: A shard terminal record: (time, kind, shard-local rack index, ref,
+#: sync).  ``ref`` is the Request itself in-process, its ``req_id``
+#: cross-process; ``sync`` carries the packed outcome fields
+#: cross-process and is None in-process.
+Record = Tuple[float, str, int, Any, Any]
+
+
+class ShardHandle:
+    """Transport-side view of one shard: ship a window, collect results,
+    harvest telemetry at the end of the run."""
+
+    def run_window(self, horizon: float, deliveries: Sequence[Delivery]) -> None:
+        """Inject ``deliveries`` and advance the shard to ``horizon``
+        (exclusive).  May return before the work completes."""
+        raise NotImplementedError
+
+    def collect(self) -> Tuple[List[Record], Optional[float]]:
+        """Barrier: block until the shipped window finishes; return its
+        terminal records (time-ordered) and the shard's next event time."""
+        raise NotImplementedError
+
+    def harvest(self) -> List[Tuple[dict, List[float]]]:
+        """Shut the shard's racks down; return one (registry snapshot,
+        per-core busy_ns list) pair per shard-local rack."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class InProcessShard(ShardHandle):
+    """A shard executed synchronously in the coordinator process.
+
+    Zero transport cost and shared Request objects: this is both the
+    ``shards=1`` honest-overhead configuration and the mode the
+    equivalence tests use to isolate window semantics from pickling.
+    """
+
+    def __init__(self, model: Any) -> None:
+        self.model = model
+        self._pending: Optional[Tuple[List[Record], Optional[float]]] = None
+
+    def run_window(self, horizon: float, deliveries: Sequence[Delivery]) -> None:
+        model = self.model
+        model.deliver(deliveries)
+        model.run_until(horizon)
+        self._pending = (model.drain_records(), model.next_time())
+
+    def collect(self) -> Tuple[List[Record], Optional[float]]:
+        pending = self._pending
+        assert pending is not None, "collect() without run_window()"
+        self._pending = None
+        return pending
+
+    def harvest(self) -> List[Tuple[dict, List[float]]]:
+        return self.model.harvest()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn, factory: Callable[..., Any], args: tuple) -> None:
+    """Worker-process entry point: build the shard model, then serve
+    ``run`` / ``harvest`` requests over the pipe until harvested."""
+    model = factory(*args)
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "run":
+            _, horizon, deliveries = msg
+            model.deliver(deliveries)
+            model.run_until(horizon)
+            conn.send(("done", model.drain_records(), model.next_time()))
+        elif op == "harvest":
+            conn.send(("harvested", model.harvest()))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown shard opcode {op!r}")
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap, inherits imports), spawn
+    otherwise.  Either way the factory and its args cross the boundary
+    as picklable module-level data."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessShard(ShardHandle):
+    """A shard executed in a dedicated worker process over a pipe.
+
+    ``factory`` must be a module-level callable (it crosses the process
+    boundary); it is invoked *in the worker* to build the shard model,
+    so simulator state never pickles -- only deliveries and terminal
+    records do.
+    """
+
+    def __init__(self, factory: Callable[..., Any], args: tuple) -> None:
+        ctx = _mp_context()
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main, args=(child, factory, args), daemon=True
+        )
+        self._proc.start()
+        child.close()
+
+    def run_window(self, horizon: float, deliveries: Sequence[Delivery]) -> None:
+        self._conn.send(("run", horizon, list(deliveries)))
+
+    def collect(self) -> Tuple[List[Record], Optional[float]]:
+        msg = self._conn.recv()
+        assert msg[0] == "done", msg
+        return msg[1], msg[2]
+
+    def harvest(self) -> List[Tuple[dict, List[float]]]:
+        self._conn.send(("harvest",))
+        msg = self._conn.recv()
+        assert msg[0] == "harvested", msg
+        return msg[1]
+
+    def close(self) -> None:
+        self._conn.close()
+        self._proc.join(timeout=10.0)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+            self._proc.join()
+
+
+class ShardedSimulator(Simulator):
+    """A Simulator whose :meth:`run` is delegated to a window driver.
+
+    Drop-in for the serial engine everywhere (``run_workload``, metric
+    registration, scheduling): until :meth:`bind_driver` is called it
+    *is* the serial engine.  Once bound, ``run`` hands control to the
+    conservative window loop, which interleaves this simulator's own
+    events with shard execution.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._driver: Optional["WindowDriver"] = None
+
+    def bind_driver(self, driver: "WindowDriver") -> None:
+        self._driver = driver
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        if self._driver is None:
+            super().run(until=until, max_events=max_events)
+            return
+        if max_events is not None:
+            raise SimulationError("sharded runs do not support max_events")
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            self._driver.run(until)
+        finally:
+            self._running = False
+
+
+class WindowDriver:
+    """The conservative window loop.
+
+    The coordinator protocol object supplies the topology-specific
+    pieces; per window the driver runs the strict alternation
+
+    1. ``take_batches()`` -- per-shard delivery batches built at the end
+       of the previous window (all due inside this one);
+    2. ship each batch with ``run_window(horizon)`` (shards execute the
+       window concurrently in process mode);
+    3. barrier-``collect()`` terminal records and next-event times,
+       charging the wait to ``shard.barrier_stall_ns``;
+    4. ``replay(horizon, records)`` -- the coordinator interleaves the
+       records with its own heap in timestamp order (this is where
+       completion hooks, retry clients and ``expect`` stops fire);
+    5. unless stopped, ``end_window(horizon)`` -- evaluate buffered
+       fabric messages into next-window batches.
+
+    Idle gaps are skipped: the next window is the one containing the
+    earliest pending work (coordinator heap, shard heaps, or built
+    batches), so lightly loaded runs don't pay a barrier per empty
+    window.  Windows stay aligned to multiples of ``window_ns``, which
+    is what makes the lookahead argument airtight under skipping.
+    """
+
+    def __init__(self, sim: Simulator, coordinator: Any) -> None:
+        window_ns = float(coordinator.window_ns)
+        if window_ns <= 0:
+            raise ValueError(
+                f"conservative lookahead must be positive, got {window_ns} "
+                "(a zero-latency fabric admits no parallel window)"
+            )
+        self.sim = sim
+        self.coordinator = coordinator
+        self.window_ns = window_ns
+        registry = coordinator.metrics
+        self._m_windows = registry.counter("shard.windows")
+        self._m_out = registry.counter("shard.messages_out")
+        self._m_in = registry.counter("shard.messages_in")
+        #: Wall-clock ns the coordinator spent blocked at barriers; the
+        #: overhead instrument the bench gate reads to explain any gap
+        #: to linear scaling.
+        self._m_stall = registry.counter("shard.barrier_stall_ns")
+
+    def run(self, until: Optional[float]) -> None:
+        sim = self.sim
+        coordinator = self.coordinator
+        window = self.window_ns
+        shards: Sequence[ShardHandle] = coordinator.shards
+        next_times: List[Optional[float]] = [None] * len(shards)
+        bound = float("inf") if until is None else until
+        stopped = False
+        while True:
+            pending = [sim.peek_time(), coordinator.next_delivery_time()]
+            pending.extend(next_times)
+            live = [t for t in pending if t is not None]
+            if not live:
+                break  # fully drained everywhere
+            tmin = min(live)
+            if tmin > bound:
+                break
+            horizon = (tmin // window + 1.0) * window
+            while horizon <= tmin:  # float-floor paranoia at huge clocks
+                horizon += window
+            batches = coordinator.take_batches()
+            for shard, batch in zip(shards, batches):
+                self._m_out.value += len(batch)
+                shard.run_window(horizon, batch)
+            stall_start = _time.perf_counter()
+            collected = [shard.collect() for shard in shards]
+            self._m_stall.value += int(
+                (_time.perf_counter() - stall_start) * 1e9
+            )
+            next_times = [next_time for _, next_time in collected]
+            records = [shard_records for shard_records, _ in collected]
+            self._m_in.value += sum(len(r) for r in records)
+            self._m_windows.value += 1
+            coordinator.replay(horizon, records)
+            if sim.stopped:
+                stopped = True
+                break
+            coordinator.end_window(horizon)
+        coordinator.finish()
+        # Same drain-clamp contract as Simulator.run: only a run that
+        # executed everything at or before `until` observes it as the
+        # end time.
+        if until is not None and not stopped and sim.now < until:
+            sim.now = until

@@ -181,6 +181,9 @@ class MetricRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
         self._children: List[Tuple[str, "MetricRegistry"]] = []
+        #: Pre-captured flat snapshots merged in at snapshot time (the
+        #: sharded tier's harvested per-shard registries).
+        self._snapshots: List[Tuple[str, Dict[str, Any]]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -227,6 +230,20 @@ class MetricRegistry:
             raise MetricError("child registry already attached")
         self._children.append((prefix, child))
 
+    def attach_snapshot(self, prefix: str, values: Dict[str, Any]) -> None:
+        """Merge a pre-captured flat snapshot under ``prefix.``.
+
+        The cross-process analogue of :meth:`attach_child`: a worker
+        shard snapshots its own registry, ships the flat dict over the
+        pipe, and the coordinator attaches it here so one
+        :meth:`snapshot` covers the whole sharded run.  The values are
+        frozen data, not live instruments, so they appear in snapshots
+        but deliberately not in :meth:`schema` (the schema gate pins the
+        serial topology's live instrument set).
+        """
+        validate_namespace(prefix)
+        self._snapshots.append((prefix, dict(values)))
+
     # ------------------------------------------------------------------
     # Introspection / export
     # ------------------------------------------------------------------
@@ -254,6 +271,9 @@ class MetricRegistry:
         }
         for prefix, child in self._children:
             for name, value in child.snapshot().items():
+                out[f"{prefix}.{name}"] = value
+        for prefix, values in self._snapshots:
+            for name, value in values.items():
                 out[f"{prefix}.{name}"] = value
         return out
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from typing import Dict, Optional
 
 from repro.api import quick_run
@@ -40,10 +41,24 @@ GOLDEN_SYSTEMS = (
 #: the *faulted* event order -- retry timing, fault-stream coin flips,
 #: failover redispatch -- so refactors of repro.faults can't silently
 #: change behavior.  Captured when the subsystem was introduced.
-FAULTED_GOLDEN_SYSTEMS = ("altocumulus+faults", "rack+faults")
+FAULTED_GOLDEN_SYSTEMS = (
+    "altocumulus+faults", "rack+faults", "datacenter+faults",
+)
 
-#: Every golden entry (plain then faulted).
-ALL_GOLDEN_SYSTEMS = GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS
+#: Sharded golden entries: the datacenter workload executed through the
+#: conservative parallel-in-time coordinator
+#: (:mod:`repro.datacenter.sharded`).  A ``"+sharded<N>"`` suffix runs
+#: the same configuration with ``quick_run(shards=N)``; the fingerprints
+#: must equal the corresponding serial entries bit-for-bit, which these
+#: entries pin permanently (including under fault injection).
+SHARDED_GOLDEN_SYSTEMS = (
+    "datacenter+sharded2", "datacenter+faults+sharded2",
+)
+
+#: Every golden entry (plain, faulted, then sharded).
+ALL_GOLDEN_SYSTEMS = (
+    GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS + SHARDED_GOLDEN_SYSTEMS
+)
 
 _GOLDEN_RETRY = RetryPolicy(
     timeout_ns=50_000.0,
@@ -76,7 +91,26 @@ GOLDEN_FAULT_PLANS: Dict[str, FaultPlan] = {
         ),
         retry=_GOLDEN_RETRY,
     ),
+    # Datacenter-applicable kinds only (targets are racks at this tier):
+    # a rack-granular crash, a NIC drop burst, and both spine port fault
+    # flavors, overlapping so admission, steering and retry interact.
+    "datacenter+faults": FaultPlan(
+        events=(
+            FaultEvent(time_ns=15_000.0, kind="server_crash", target=1,
+                       duration_ns=40_000.0),
+            FaultEvent(time_ns=25_000.0, kind="nic_drop", target=0,
+                       magnitude=0.3, duration_ns=40_000.0),
+            FaultEvent(time_ns=35_000.0, kind="spine_degrade", target=1,
+                       magnitude=0.25, duration_ns=30_000.0),
+            FaultEvent(time_ns=50_000.0, kind="spine_partition", target=0,
+                       duration_ns=25_000.0),
+        ),
+        retry=_GOLDEN_RETRY,
+    ),
 }
+
+#: ``"<entry>+sharded<N>"`` suffix: run the entry with ``shards=N``.
+_SHARDED_RE = re.compile(r"\+sharded(\d+)$")
 
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that
@@ -93,13 +127,21 @@ GOLDEN_PARAMS = dict(
 def run_fingerprint(system: str) -> Dict[str, object]:
     """Run one golden-config simulation and fingerprint its output.
 
-    ``system`` may be a plain registered name or a ``"<name>+faults"``
-    entry, which runs the same workload under that entry's fault plan.
+    ``system`` may be a plain registered name, a ``"<name>+faults"``
+    entry (same workload under that entry's fault plan), and/or carry a
+    ``"+sharded<N>"`` suffix (same workload through the sharded
+    parallel-in-time coordinator with N shards).
     """
+    shards: Optional[int] = None
+    sharded = _SHARDED_RE.search(system)
+    if sharded is not None:
+        shards = int(sharded.group(1))
+        system = system[: sharded.start()]
     faults: Optional[FaultPlan] = GOLDEN_FAULT_PLANS.get(system)
     if faults is not None:
         system = system.rsplit("+", 1)[0]
-    result = quick_run(system=system, faults=faults, **GOLDEN_PARAMS)
+    result = quick_run(system=system, faults=faults, shards=shards,
+                       **GOLDEN_PARAMS)
     hasher = hashlib.sha256()
     for r in result.requests:
         record = (

@@ -56,7 +56,21 @@ class TestGate:
     def test_disjoint_files_are_an_error(self, tmp_path):
         base = _bench_json(tmp_path / "base.json", {"bench_a": 1.0})
         cand = _bench_json(tmp_path / "cand.json", {"bench_b": 1.0})
-        assert _run(base, cand).returncode == 2
+        proc = _run(base, cand)
+        assert proc.returncode == 2
+        # The message must be clear and unquoted: say nothing was
+        # gated and name what each side actually contains.
+        assert "no benchmarks in common" in proc.stderr
+        assert "nothing was gated" in proc.stderr
+        assert "bench_a" in proc.stderr and "bench_b" in proc.stderr
+        assert "'no benchmarks" not in proc.stderr
+
+    def test_empty_candidate_is_an_error(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"bench_a": 1.0})
+        cand = _bench_json(tmp_path / "cand.json", {})
+        proc = _run(base, cand)
+        assert proc.returncode == 2
+        assert "candidate has: <none>" in proc.stderr
 
     def test_gates_only_named_benchmarks(self, tmp_path):
         base = _bench_json(tmp_path / "base.json",

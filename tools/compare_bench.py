@@ -46,7 +46,14 @@ def compare(
         set(baseline) & set(candidate)
     )
     if not names:
-        raise KeyError("no benchmarks in common between the two files")
+        def _listing(mins: Dict[str, float]) -> str:
+            return ", ".join(sorted(mins)) if mins else "<none>"
+
+        raise KeyError(
+            "no benchmarks in common between the two files -- nothing "
+            "was gated (baseline has: "
+            f"{_listing(baseline)}; candidate has: {_listing(candidate)})"
+        )
     failures: List[str] = []
     for name in names:
         if name not in baseline:
@@ -86,7 +93,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.threshold, only,
         )
     except KeyError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # exc.args[0], not str(exc): KeyError repr-quotes its message.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     if failures:
         print("\n".join(failures), file=sys.stderr)

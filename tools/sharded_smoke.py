@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Serial-vs-sharded equivalence smoke for CI.
+
+Runs one small datacenter configuration twice -- on the serial engine
+and under ``--shards N`` sharded parallel-in-time execution -- writes
+each run's full fingerprint (per-request timestamps/placement, run
+scalars, telemetry snapshot) as JSON into ``--out``, and exits non-zero
+with a readable diff if they are not bit-identical.  The two JSON files
+are left on disk either way so CI can upload them as artifacts on
+failure.
+
+Usage::
+
+    python tools/sharded_smoke.py [--shards 2] [--requests 2000]
+        [--seed 7] [--out sharded-smoke/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+
+def _fingerprint(result, sharded: bool) -> dict:
+    """Everything the sharded mode promises to reproduce, exactly.
+
+    Floats are ``repr``'d so the comparison (and the artifact diff) is
+    bit-exact, not print-rounded.  Engine-internal ``sim.*`` instruments
+    (each shard legitimately runs its own event heap) and the sharded
+    tier's own ``shard.*`` overhead counters are excluded from the
+    comparable snapshot; everything else must match.
+    """
+    return {
+        "requests": [
+            [
+                r.req_id,
+                repr(r.arrival),
+                repr(r.enqueued),
+                repr(r.started),
+                repr(r.finished),
+                r.core_id,
+                r.group_id,
+                r.migrations,
+                r.steals,
+                bool(r.dropped),
+            ]
+            for r in result.requests
+        ],
+        "scalars": {
+            "sim_time_ns": repr(result.sim_time_ns),
+            "throughput_rps": repr(result.throughput_rps),
+            "utilization": repr(result.utilization),
+            "dropped": result.dropped,
+            "p50": repr(result.latency.p50),
+            "p99": repr(result.latency.p99),
+            "mean": repr(result.latency.mean),
+            "extra": {k: repr(v) for k, v in sorted(result.extra.items())},
+        },
+        "metrics": {
+            key: repr(value)
+            for key, value in sorted(result.metrics.items())
+            if "sim" not in key.split(".") and not key.startswith("shard.")
+        },
+    }
+
+
+def _diff(serial: dict, sharded: dict, limit: int = 20) -> List[str]:
+    lines: List[str] = []
+    for section in ("scalars", "metrics"):
+        a, b = serial[section], sharded[section]
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                lines.append(
+                    f"{section}.{key}: serial={a.get(key)!r} "
+                    f"sharded={b.get(key)!r}"
+                )
+    if serial["requests"] != sharded["requests"]:
+        mismatches = sum(
+            1 for x, y in zip(serial["requests"], sharded["requests"])
+            if x != y
+        )
+        lines.append(
+            f"requests: {mismatches} differing rows of "
+            f"{len(serial['requests'])} "
+            f"(counts {len(serial['requests'])} vs "
+            f"{len(sharded['requests'])})"
+        )
+        for x, y in zip(serial["requests"], sharded["requests"]):
+            if x != y:
+                lines.append(f"  first differing row: {x} vs {y}")
+                break
+    return lines[:limit]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="sharded-smoke",
+                        help="directory for serial.json / sharded.json")
+    args = parser.parse_args(argv)
+
+    from repro.api import quick_run
+
+    params = dict(
+        system="datacenter",
+        n_cores=32,
+        rate_rps=24e6,
+        mean_service_ns=1000.0,
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    serial = _fingerprint(quick_run(**params), sharded=False)
+    sharded = _fingerprint(
+        quick_run(shards=args.shards, **params), sharded=True
+    )
+
+    os.makedirs(args.out, exist_ok=True)
+    for name, doc in (("serial", serial), ("sharded", sharded)):
+        with open(os.path.join(args.out, f"{name}.json"), "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+
+    diff = _diff(serial, sharded)
+    if diff:
+        print(f"serial vs --shards {args.shards}: NOT bit-identical",
+              file=sys.stderr)
+        for line in diff:
+            print(f"  {line}", file=sys.stderr)
+        print(f"full fingerprints in {args.out}/", file=sys.stderr)
+        return 1
+    print(
+        f"serial vs --shards {args.shards}: bit-identical "
+        f"({len(serial['requests'])} measured requests, "
+        f"{len(serial['metrics'])} compared instruments)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
