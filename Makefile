@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast adaptive-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -59,6 +59,13 @@ chaos-fast:
 ## spine-leaf fabric, fanned out over every CPU with cached points.
 datacenter-fast:
 	$(PYTHON) -m repro.experiments.cli datacenter --scale 0.2 --jobs 0 --out results/
+
+## Reduced-scale adaptive control-plane study (the fig_adaptive
+## experiment): every static steering policy vs the hysteresis and
+## bandit controllers across three chaos scenarios and a drifting
+## multi-tenant load.  Controllers force serial uncached execution.
+adaptive-fast:
+	$(PYTHON) -m repro.experiments.cli adaptive --scale 0.2 --jobs 1 --no-cache --out results/
 
 examples:
 	@for script in examples/*.py; do \

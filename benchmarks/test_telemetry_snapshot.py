@@ -1,0 +1,57 @@
+"""Microbenchmarks for registry snapshots.
+
+The control loop polls ``registry.snapshot("faults")`` every epoch, so
+the namespaced read must stay far cheaper than serializing the whole
+datacenter-sized hierarchy.  Both paths are benchmarked on the same
+synthetic hierarchy (spine registry + racks + per-server children,
+roughly the fig_datacenter shape) so the delta is visible in the
+benchmark history.
+"""
+
+from repro.telemetry import MetricRegistry
+
+#: Roughly the fig_datacenter registry shape: a spine root, 8 racks,
+#: 16 servers each, ~40 instruments per server.
+N_RACKS = 8
+N_SERVERS = 16
+N_INSTRUMENTS = 40
+
+
+def _datacenter_sized_registry() -> MetricRegistry:
+    root = MetricRegistry()
+    root.counter("faults.requests_blackholed").inc(3)
+    root.counter("faults.nic_burst_dropped").inc(5)
+    root.counter("faults.responses_lost").inc(2)
+    for name in ("dc.admitted", "dc.steer_decisions", "dc.slo_violations"):
+        root.counter(name).inc(1000)
+    for r in range(N_RACKS):
+        rack = MetricRegistry()
+        rack.counter("cluster.steer_decisions").inc(500)
+        for s in range(N_SERVERS):
+            server = MetricRegistry()
+            for i in range(N_INSTRUMENTS):
+                server.counter(f"system.metric{i}").inc(i)
+            rack.attach_child(f"server{s}", server)
+        root.attach_child(f"rack{r}", rack)
+    return root
+
+
+def test_full_snapshot(benchmark):
+    """Baseline: serialize every instrument in the hierarchy."""
+    registry = _datacenter_sized_registry()
+    snap = benchmark(registry.snapshot)
+    assert len(snap) > N_RACKS * N_SERVERS * N_INSTRUMENTS
+
+
+def test_filtered_snapshot(benchmark):
+    """The control loop's per-epoch read: one namespace, three values.
+
+    Must not descend into the rack/server children at all -- the whole
+    point of the filtered path."""
+    registry = _datacenter_sized_registry()
+    snap = benchmark(registry.snapshot, "faults")
+    assert snap == {
+        "faults.requests_blackholed": 3,
+        "faults.nic_burst_dropped": 5,
+        "faults.responses_lost": 2,
+    }

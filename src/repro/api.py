@@ -22,6 +22,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.slo import violation_ratio
 from repro.core.config import AltocumulusConfig
+from repro.control import ControlConfig, ControlLoop, active_control_config
 from repro.faults import FaultInjector, FaultPlan, RetryClient, active_fault_plan
 from repro.core.scheduler import AltocumulusSystem
 from repro.hw.constants import DEFAULT_CONSTANTS
@@ -194,6 +195,7 @@ def run_workload(
     request_factory: Optional[Callable[[Request], None]] = None,
     size_bytes: int = 300,
     faults: Optional[FaultPlan] = None,
+    control: Optional[ControlConfig] = None,
 ) -> SimulationResult:
     """Drive a workload through ``system`` to completion and measure it.
 
@@ -205,6 +207,12 @@ def run_workload(
     duplicate detection) *and* termination, since one logical request may
     cost several attempts.  Without a plan this function is byte-for-byte
     the fault-free fast path.
+
+    With a :class:`~repro.control.ControlConfig` (passed explicitly, or
+    ambient via :func:`repro.control.use_controller`), a
+    :class:`~repro.control.ControlLoop` senses the system's telemetry
+    every control epoch and lets the configured controller actuate
+    steering, threshold, drain, and capacity knobs mid-run.
     """
     plan = faults if faults is not None else active_fault_plan()
     injector: Optional[FaultInjector] = None
@@ -219,6 +227,12 @@ def run_workload(
             ingress=injector.ingress,
             response_delivered=injector.response_delivered,
         )
+    control_cfg = control if control is not None else active_control_config()
+    loop: Optional[ControlLoop] = None
+    if control_cfg is not None:
+        # Built after the injector so the loop senses the fault
+        # instruments, before the generator so epoch 0 starts at t=0.
+        loop = ControlLoop(sim, streams, control_cfg, system)
     generator = LoadGenerator(
         sim,
         streams,
@@ -241,6 +255,8 @@ def run_workload(
         injector.finalize()
     if client is not None:
         client.finalize()
+    if loop is not None:
+        loop.finalize()
     system.shutdown()
     measured = generator.measured_requests()
     registry = getattr(system, "metrics", None)
@@ -272,6 +288,7 @@ def quick_run(
     faults: Optional[FaultPlan] = None,
     shards: Optional[int] = None,
     shard_mode: str = "process",
+    control: Optional[ControlConfig] = None,
 ) -> SimulationResult:
     """One-call simulation: Poisson arrivals, exponential service by
     default, 10% warmup discarded.
@@ -281,10 +298,17 @@ def quick_run(
     bit-identical to the serial run.  ``shards=1`` is the sharded
     machinery with one shard (the overhead baseline), ``None`` (default)
     is the plain serial engine.  ``shard_mode`` is ``"process"`` or
-    ``"inprocess"``.
+    ``"inprocess"``.  ``control`` attaches an adaptive control loop; it
+    does not compose with sharded execution (a controller's global
+    actuations would break the shards' conservative-lookahead contract).
     """
     streams = RandomStreams(seed)
     if shards is not None:
+        if control is not None:
+            raise ValueError(
+                "controllers do not compose with sharded execution: "
+                "pass shards=None when a ControlConfig is attached"
+            )
         if system != "datacenter":
             raise ValueError(
                 f"shards is only supported for system='datacenter', "
@@ -309,6 +333,7 @@ def quick_run(
         service=service or Exponential(mean_service_ns),
         n_requests=n_requests,
         faults=faults,
+        control=control,
     )
 
 

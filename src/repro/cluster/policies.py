@@ -182,6 +182,25 @@ class PowerOfDSteering(SteeringPolicy):
         #: Fresh probes issued (the telemetry cost a real fabric pays).
         self.refreshes: int = 0
 
+    # -- runtime-mutable knobs (control-plane actuation) ----------------
+    def set_staleness(self, staleness_ns: float) -> None:
+        """Retune estimate staleness mid-run.
+
+        Takes effect on the next estimate read: tightening the knob
+        makes cached estimates older than the new bound re-probe
+        immediately; loosening extends the life of whatever is cached.
+        """
+        if staleness_ns < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness_ns}")
+        self.staleness_ns = float(staleness_ns)
+
+    def set_d(self, d: int) -> None:
+        """Retune the per-decision sample width mid-run (clamped to the
+        server count, like the constructor)."""
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.d = min(int(d), self.n_servers)
+
     def _candidates(self) -> List[int]:
         if self.d >= self.n_servers:
             return list(range(self.n_servers))
@@ -272,6 +291,20 @@ class ShortestExpectedWaitSteering(SteeringPolicy):
         self._tie_start = 0
         self._timer: Optional[Event] = None
         self.samples_taken: int = 0
+
+    # -- runtime-mutable knobs (control-plane actuation) ----------------
+    def set_sample_period(self, sample_period_ns: float) -> None:
+        """Retune the sampling cadence mid-run.
+
+        The sampling timer re-arms itself with the live period after
+        each firing, so the new cadence takes effect at the next sample
+        without cancelling or reordering the pending timer event.
+        """
+        if sample_period_ns <= 0:
+            raise ValueError(
+                f"sample period must be positive, got {sample_period_ns}"
+            )
+        self.sample_period_ns = float(sample_period_ns)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

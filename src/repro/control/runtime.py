@@ -1,0 +1,38 @@
+"""Process-global default controller config (the ``--controller`` CLI
+surface).
+
+Mirrors :func:`repro.faults.use_fault_plan`: the CLI installs a
+:class:`~repro.control.config.ControlConfig` for the duration of an
+experiment invocation, and every :func:`repro.api.run_workload` call
+that was not handed an explicit ``control=`` argument picks it up.  The
+global lives in the current process only -- the CLI forces ``--jobs 1``
+and ``--no-cache`` when a controller is installed (runner sweeps that
+want parallel controlled points carry the config explicitly in their
+:class:`~repro.runner.spec.PointSpec`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.control.config import ControlConfig
+
+_ACTIVE_CONTROL: Optional[ControlConfig] = None
+
+
+def active_control_config() -> Optional[ControlConfig]:
+    """The process-global default controller config, or None."""
+    return _ACTIVE_CONTROL
+
+
+@contextmanager
+def use_controller(config: Optional[ControlConfig]) -> Iterator[None]:
+    """Install ``config`` as the default for the duration of the block."""
+    global _ACTIVE_CONTROL
+    previous = _ACTIVE_CONTROL
+    _ACTIVE_CONTROL = config
+    try:
+        yield
+    finally:
+        _ACTIVE_CONTROL = previous

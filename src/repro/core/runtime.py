@@ -148,9 +148,14 @@ class ManagerRuntime:
         self.migrations_triggered = 0
         self.descriptors_migrated = 0
         self.last_threshold: float = float("inf")
-        #: ``T_upper`` depends only on the (immutable-per-run) config.
+        #: Live worker count for this group.  Starts at the config's
+        #: uniform split; the control plane's worker<->group
+        #: reassignment updates it via :meth:`set_workers`.
+        self.n_workers: int = config.workers_per_group
+        #: ``T_upper`` depends on the worker count and the config;
+        #: recomputed only when :meth:`set_workers` changes the count.
         self._t_upper: float = upper_bound_threshold(
-            config.workers_per_group, config.slo_multiplier
+            self.n_workers, config.slo_multiplier
         )
         #: Threshold cache: the load the model threshold was last
         #: computed at, and that threshold.  Recomputed only when the
@@ -175,9 +180,29 @@ class ManagerRuntime:
     # ------------------------------------------------------------------
     # Threshold (Eq. 2 / bounds)
     # ------------------------------------------------------------------
+    def set_workers(self, n_workers: int) -> None:
+        """Adopt a new live worker count (control-plane reassignment).
+
+        Recomputes ``T_upper`` and invalidates the threshold cache so
+        the next :meth:`current_threshold` reflects the new capacity.
+        """
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._t_upper = upper_bound_threshold(
+            self.n_workers, self.config.slo_multiplier
+        )
+        self.invalidate_threshold_cache()
+
+    def invalidate_threshold_cache(self) -> None:
+        """Force a fresh model evaluation at the next threshold read
+        (control-plane predictor recalibration)."""
+        self._cached_load = None
+        self._cached_threshold = float("inf")
+
     def current_threshold(self) -> float:
         cfg = self.config
-        k = cfg.workers_per_group
+        k = self.n_workers
         t_upper = self._t_upper
         if cfg.threshold_mode == "fixed":
             return min(cfg.fixed_threshold, t_upper)

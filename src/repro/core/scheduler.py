@@ -199,14 +199,18 @@ class AltocumulusSystem(RpcSystem):
     # Group/core index arithmetic
     # ------------------------------------------------------------------
     def _worker_core(self, group: int, worker: int) -> Core:
-        """Worker ``worker`` of ``group`` (managers are index 0 in-group)."""
-        return self.cores[group * self.config.group_size + 1 + worker]
+        """Worker ``worker`` of ``group`` (managers are index 0 in-group).
+
+        Reads the live assignment table rather than the construction
+        formula, so it stays correct after control-plane reassignment.
+        """
+        return self._worker_cores[group][worker]
 
     def _group_of_core(self, core_id: int) -> int:
-        return core_id // self.config.group_size
+        return self._core_group[core_id]
 
     def _worker_index(self, core_id: int) -> int:
-        return core_id % self.config.group_size - 1
+        return self._core_worker[core_id]
 
     # ------------------------------------------------------------------
     # NIC arrival path
@@ -348,7 +352,7 @@ class AltocumulusSystem(RpcSystem):
         batch = mrs.dequeue_tail_where(size, eligible)
         if not batch:
             return batch
-        workers = max(1, cfg.workers_per_group)
+        workers = max(1, len(self.occupancy[group]))
         mean_service = self.estimators[group].mean_service_ns or 0.0
         ahead = len(mrs) + self._occ_total[group]
         trace = self.trace
@@ -475,11 +479,70 @@ class AltocumulusSystem(RpcSystem):
             self._drop(request)
 
     # ------------------------------------------------------------------
+    # Control-plane actuation
+    # ------------------------------------------------------------------
+    def reassign_worker(self, src_group: int, dst_group: int) -> bool:
+        """Move one idle worker core from ``src_group`` to ``dst_group``.
+
+        The control plane's capacity-rebalance actuator.  Only a worker
+        with no running request, an empty local queue, and zero JBSQ
+        occupancy may move (moving a busy core would strand its in-flight
+        work), and a group never gives up its last worker.  Returns True
+        when a core actually moved; both runtimes adopt their new worker
+        counts so thresholds track live capacity.
+        """
+        cfg = self.config
+        for group in (src_group, dst_group):
+            if not 0 <= group < cfg.n_groups:
+                raise ValueError(
+                    f"manager group {group} out of range [0, {cfg.n_groups})"
+                )
+        if src_group == dst_group:
+            raise ValueError("source and destination group must differ")
+        src_occ = self.occupancy[src_group]
+        if len(src_occ) <= 1:
+            return False
+        worker = len(src_occ) - 1
+        core = self._worker_cores[src_group][worker]
+        if src_occ[worker] != 0 or self.local_wait[src_group][worker]:
+            return False
+        if core.busy:
+            return False
+        src_occ.pop()
+        self.local_wait[src_group].pop()
+        self._worker_cores[src_group].pop()
+        self._hw_dispatch_ns[src_group].pop()
+        dst_occ = self.occupancy[dst_group]
+        new_worker = len(dst_occ)
+        dst_occ.append(0)
+        self.local_wait[dst_group].append(deque())
+        self._worker_cores[dst_group].append(core)
+        self._hw_dispatch_ns[dst_group].append(
+            20.0
+            + self.topology.hops(dst_group * cfg.group_size, core.core_id)
+            * self.constants.noc_hop_ns
+        )
+        self._core_group[core.core_id] = dst_group
+        self._core_worker[core.core_id] = new_worker
+        self.runtimes[src_group].set_workers(len(src_occ))
+        self.runtimes[dst_group].set_workers(len(dst_occ))
+        self._pump_group(dst_group)
+        return True
+
+    # ------------------------------------------------------------------
     # Introspection & lifecycle
     # ------------------------------------------------------------------
     def netrx_lengths(self) -> List[int]:
         """Current NetRX occupancy per group (the Fig. 9 snapshot)."""
         return [len(hw.mrs) for hw in self.managers]
+
+    def group_outstanding(self) -> List[int]:
+        """Per-group outstanding work: NetRX backlog plus dispatched
+        occupancy (the control plane's rebalance signal)."""
+        return [
+            len(hw.mrs) + self._occ_total[group]
+            for group, hw in enumerate(self.managers)
+        ]
 
     def total_migrated(self) -> int:
         """Requests that completed at least one migration."""

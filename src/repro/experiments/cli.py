@@ -35,6 +35,7 @@ ALIASES = {
     "rack": "fig_rack",
     "chaos": "fig_chaos",
     "datacenter": "fig_datacenter",
+    "adaptive": "fig_adaptive",
 }
 
 
@@ -132,6 +133,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "the ambient plan reaches each in-process run",
     )
     parser.add_argument(
+        "--controller", default=None, metavar="NAME",
+        help="attach an adaptive control loop to every run of the "
+             "experiment (static | hysteresis | bandit, see "
+             "docs/architecture.md); implies --jobs 1 and --no-cache so "
+             "the ambient controller reaches each in-process run",
+    )
+    parser.add_argument(
+        "--control-epoch-ns", type=float, default=None, metavar="NS",
+        help="with --controller: the control epoch on the simulated "
+             "clock (default 20000)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the 25 hottest functions by "
              "cumulative time after each experiment (implies --jobs 1 so "
@@ -190,6 +203,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    control_cfg = None
+    if args.control_epoch_ns is not None and args.controller is None:
+        print("error: --control-epoch-ns requires --controller",
+              file=sys.stderr)
+        return 2
+    if args.controller is not None:
+        if args.shards > 1:
+            # A controller's actuations are global (policy swaps, admin
+            # drains) and cannot be replayed consistently across shard
+            # boundaries; refuse rather than silently diverge.
+            print("error: --controller is not supported with --shards > 1",
+                  file=sys.stderr)
+            return 2
+        from repro.control import (
+            CONTROLLER_NAMES,
+            ControlConfig,
+            DEFAULT_CONTROL_EPOCH_NS,
+        )
+
+        if args.controller not in CONTROLLER_NAMES:
+            print(
+                f"error: --controller must be one of "
+                f"{' | '.join(CONTROLLER_NAMES)}, got {args.controller!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            control_cfg = ControlConfig(
+                controller=args.controller,
+                epoch_ns=(
+                    args.control_epoch_ns
+                    if args.control_epoch_ns is not None
+                    else DEFAULT_CONTROL_EPOCH_NS
+                ),
+            )
+        except ValueError as exc:
+            print(f"error: --controller: {exc}", file=sys.stderr)
+            return 2
+
     fault_plan = None
     if args.faults is not None:
         from repro.faults import FaultPlan, FaultPlanError
@@ -205,14 +257,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.trace is not None
         or args.metrics_out is not None
         or fault_plan is not None
+        or control_cfg is not None
     )
     if capturing:
-        # Worker processes have their own (inactive) capture/fault-plan
-        # globals and cached points replay without executing, so both
-        # telemetry capture and ambient fault plans require fresh
-        # in-process execution.
+        # Worker processes have their own (inactive) capture/fault-plan/
+        # controller globals and cached points replay without executing,
+        # so telemetry capture, ambient fault plans, and ambient
+        # controllers all require fresh in-process execution.
         if args.jobs not in (0, 1):
-            print("[--trace/--metrics-out/--faults force --jobs 1]",
+            print("[--trace/--metrics-out/--faults/--controller force "
+                  "--jobs 1]",
                   file=sys.stderr)
         args.jobs = 1
         args.no_cache = True
@@ -234,7 +288,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         plan_context = nullcontext()
 
-    with plan_context, capture(
+    if control_cfg is not None:
+        from repro.control import use_controller
+
+        control_context = use_controller(control_cfg)
+    else:
+        control_context = nullcontext()
+
+    with plan_context, control_context, capture(
         trace=sink, collect_metrics=args.metrics_out is not None
     ) as cap, overrides(
         jobs=1 if (args.profile or capturing) else args.jobs,

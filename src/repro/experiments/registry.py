@@ -99,6 +99,10 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
         "repro.experiments.fig_datacenter",
         "datacenter tier: inter-rack steering x multi-tenant skew",
     ),
+    "fig_adaptive": ExperimentInfo(
+        "repro.experiments.fig_adaptive",
+        "control plane: adaptive controllers vs static steering policies",
+    ),
 }
 
 

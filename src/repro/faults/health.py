@@ -90,6 +90,17 @@ class HealthView:
         self.impaired = any(self._down) or any(self._degraded)
 
     # ------------------------------------------------------------------
+    # Control-plane write side
+    # ------------------------------------------------------------------
+    def set_degraded_penalty(self, penalty: float) -> None:
+        """Retune the degradation handicap mid-run (the control plane's
+        health-staleness knob: every subsequent :meth:`penalty` read
+        reflects the new value immediately)."""
+        if penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {penalty}")
+        self.degraded_penalty = float(penalty)
+
+    # ------------------------------------------------------------------
     # Policy read side
     # ------------------------------------------------------------------
     def usable(self, server: int) -> bool:

@@ -126,6 +126,12 @@ def execute_point(spec: PointSpec) -> PointResult:
     serial ones.  ``spec.shards > 1`` swaps in the sharded datacenter
     execution mode, which is likewise bit-identical by construction.
     """
+    if spec.control is not None and spec.shards > 1:
+        raise ValueError(
+            "controllers do not compose with sharded execution: "
+            f"spec has control={spec.control.controller!r} and "
+            f"shards={spec.shards}; set shards=1 to attach a controller"
+        )
     system, sim, streams, request_factory = _build_point(spec)
     if spec.request_factory is not None:
         request_factory = spec.request_factory.resolve()()
@@ -153,6 +159,7 @@ def execute_point(spec: PointSpec) -> PointResult:
         request_factory=request_factory,
         size_bytes=spec.size_bytes,
         faults=spec.faults,
+        control=spec.control,
     )
     violation = (
         result.violation_ratio(spec.slo_ns) if spec.slo_ns is not None else None

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.control.config import ControlConfig
 from repro.faults.plan import FaultPlan
 from repro.workload.service import ServiceDistribution
 
@@ -41,7 +42,8 @@ from repro.workload.service import ServiceDistribution
 #: 2: PointResult grew the ``instruments`` telemetry-registry snapshot.
 #: 3: PointSpec/SweepSpec grew the ``faults`` FaultPlan field.
 #: 4: PointSpec/SweepSpec grew the ``shards`` sharded-execution field.
-SPEC_SCHEMA_VERSION = 4
+#: 5: PointSpec/SweepSpec grew the ``control`` ControlConfig field.
+SPEC_SCHEMA_VERSION = 5
 
 
 class SpecError(TypeError):
@@ -171,6 +173,11 @@ class PointSpec:
     #: the cache key so an identity regression can never replay a stale
     #: cached result from the other execution mode.
     shards: int = 1
+    #: Adaptive control loop attached to the run (``None`` = no loop,
+    #: the sense-only fast path).  ControlConfig is a frozen dataclass
+    #: of primitives, so it pickles and content-hashes cleanly.  Does
+    #: not compose with ``shards > 1`` (the executor rejects it).
+    control: Optional[ControlConfig] = None
     #: Free-form label for progress display and result grouping; part of
     #: the identity (two differently-tagged identical runs cache apart).
     tag: str = ""
@@ -210,6 +217,7 @@ class SweepSpec:
     slo_ns: Optional[float] = None
     faults: Optional[FaultPlan] = None
     shards: int = 1
+    control: Optional[ControlConfig] = None
     tag: str = ""
 
     def points(self) -> List[PointSpec]:
@@ -230,6 +238,7 @@ class SweepSpec:
                 slo_ns=self.slo_ns,
                 faults=self.faults,
                 shards=self.shards,
+                control=self.control,
                 tag=self.tag,
             )
             for rate in self.rates_rps

@@ -168,6 +168,9 @@ class Histogram:
 
 Instrument = Union[Counter, Gauge, Histogram]
 
+#: Sentinel: a child registry disjoint from a snapshot filter.
+_SKIP = object()
+
 
 class MetricRegistry:
     """Owns a flat, insertion-ordered set of uniquely named instruments.
@@ -260,22 +263,64 @@ class MetricRegistry:
         """Own instrument names, in registration order."""
         return list(self._instruments)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Any]:
         """Flat name -> value dict over this registry and its children.
 
         Counters keep int-ness; histograms snapshot as nested dicts.
+        With ``prefix`` (a dotted namespace like ``"faults"`` or
+        ``"rack0.cluster"``), only instruments whose full name equals the
+        prefix or lives under ``prefix.`` are read -- the cheap path for
+        periodic samplers like the control loop, which must not pay for
+        reading every bound instrument in a datacenter-sized hierarchy.
+        Keys keep their full prefixed names either way.
         """
-        out: Dict[str, Any] = {
+        if prefix is None:
+            out: Dict[str, Any] = {
+                name: instrument.read()
+                for name, instrument in self._instruments.items()
+            }
+            for cprefix, child in self._children:
+                for name, value in child.snapshot().items():
+                    out[f"{cprefix}.{name}"] = value
+            for cprefix, values in self._snapshots:
+                for name, value in values.items():
+                    out[f"{cprefix}.{name}"] = value
+            return out
+        validate_namespace(prefix)
+        dotted = prefix + "."
+        out = {
             name: instrument.read()
             for name, instrument in self._instruments.items()
+            if name == prefix or name.startswith(dotted)
         }
-        for prefix, child in self._children:
-            for name, value in child.snapshot().items():
-                out[f"{prefix}.{name}"] = value
-        for prefix, values in self._snapshots:
+        for cprefix, child in self._children:
+            sub = self._narrow(prefix, dotted, cprefix)
+            if sub is _SKIP:
+                continue
+            for name, value in child.snapshot(sub).items():
+                out[f"{cprefix}.{name}"] = value
+        for cprefix, values in self._snapshots:
+            sub = self._narrow(prefix, dotted, cprefix)
+            if sub is _SKIP:
+                continue
             for name, value in values.items():
-                out[f"{prefix}.{name}"] = value
+                if sub is None or name == sub or name.startswith(sub + "."):
+                    out[f"{cprefix}.{name}"] = value
         return out
+
+    @staticmethod
+    def _narrow(prefix: str, dotted: str, cprefix: str) -> Any:
+        """Remaining filter for a child mounted at ``cprefix``.
+
+        ``None`` means the whole child matches; :data:`_SKIP` means the
+        child is disjoint from the filter; otherwise the returned string
+        is the filter with the mount point stripped.
+        """
+        if prefix == cprefix or cprefix.startswith(dotted):
+            return None
+        if prefix.startswith(cprefix + "."):
+            return prefix[len(cprefix) + 1:]
+        return _SKIP
 
     def schema(self) -> List[Dict[str, str]]:
         """Sorted ``[{"name", "type"}]`` over the full hierarchy -- the

@@ -21,6 +21,7 @@ import re
 from typing import Dict, Optional
 
 from repro.api import quick_run
+from repro.control import ControlConfig
 from repro.faults import FaultEvent, FaultPlan, RetryPolicy
 
 #: The systems the golden file covers (d-FCFS, JBSQ, RSS++,
@@ -55,9 +56,25 @@ SHARDED_GOLDEN_SYSTEMS = (
     "datacenter+sharded2", "datacenter+faults+sharded2",
 )
 
-#: Every golden entry (plain, faulted, then sharded).
+#: Controlled golden entries: the same fixed workloads with an adaptive
+#: control plane attached (:mod:`repro.control`).  A ``"+ctl:<name>"``
+#: suffix runs the entry with ``ControlConfig(controller=name)``.  The
+#: ``static`` entry must stay bit-identical to the corresponding plain
+#: entry forever -- attaching a do-nothing controller is not allowed to
+#: perturb the event order -- while the ``hysteresis``/``bandit``
+#: entries pin the controlled event order (epoch timers, actuation
+#: timing, the dedicated ``"control"`` RNG stream) against refactors.
+CONTROLLED_GOLDEN_SYSTEMS = (
+    "rack+ctl:static",
+    "rack+ctl:hysteresis",
+    "datacenter+ctl:bandit",
+    "rack+faults+ctl:hysteresis",
+)
+
+#: Every golden entry (plain, faulted, sharded, then controlled).
 ALL_GOLDEN_SYSTEMS = (
     GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS + SHARDED_GOLDEN_SYSTEMS
+    + CONTROLLED_GOLDEN_SYSTEMS
 )
 
 _GOLDEN_RETRY = RetryPolicy(
@@ -112,6 +129,10 @@ GOLDEN_FAULT_PLANS: Dict[str, FaultPlan] = {
 #: ``"<entry>+sharded<N>"`` suffix: run the entry with ``shards=N``.
 _SHARDED_RE = re.compile(r"\+sharded(\d+)$")
 
+#: ``"<entry>+ctl:<name>"`` suffix: run the entry with an attached
+#: ``ControlConfig(controller=name)`` at the library-default epoch.
+_CTL_RE = re.compile(r"\+ctl:([a-z_]+)$")
+
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that
 #: Altocumulus migrations and work stealing actually trigger.
@@ -130,8 +151,14 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     ``system`` may be a plain registered name, a ``"<name>+faults"``
     entry (same workload under that entry's fault plan), and/or carry a
     ``"+sharded<N>"`` suffix (same workload through the sharded
-    parallel-in-time coordinator with N shards).
+    parallel-in-time coordinator with N shards) or a ``"+ctl:<name>"``
+    suffix (same workload with that adaptive controller attached).
     """
+    control: Optional[ControlConfig] = None
+    ctl = _CTL_RE.search(system)
+    if ctl is not None:
+        control = ControlConfig(controller=ctl.group(1))
+        system = system[: ctl.start()]
     shards: Optional[int] = None
     sharded = _SHARDED_RE.search(system)
     if sharded is not None:
@@ -141,7 +168,7 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     if faults is not None:
         system = system.rsplit("+", 1)[0]
     result = quick_run(system=system, faults=faults, shards=shards,
-                       **GOLDEN_PARAMS)
+                       control=control, **GOLDEN_PARAMS)
     hasher = hashlib.sha256()
     for r in result.requests:
         record = (

@@ -1,0 +1,59 @@
+"""The adaptive-control regression gate.
+
+Pins the control plane's headline claim on the CI-gated chaos scenario
+(the lossy NIC from :mod:`repro.experiments.fig_adaptive`): the
+hysteresis controller -- which starts from the *weakest reasonable*
+static configuration (power-of-2 steering) -- must match or beat every
+static policy's during-window p99.  The mechanism: an admin drain
+removes the lossy server from the steering set outright, while a static
+policy's degradation penalty only biases against it, so under deep
+queues the statics keep leaking requests onto a server that drops 90%
+of them.
+
+Everything here is deterministic for the fixed seed, so the comparison
+is exact -- no tolerance band that drift could hide inside.
+"""
+
+import pytest
+
+from repro.experiments.fig_adaptive import _chaos_specs
+from repro.runner import run_points
+
+#: Matches the fig_adaptive point at --scale 0.2 (CI-sized, a few
+#: seconds for the four cells).
+N_REQUESTS = 6000
+SEED = 1
+
+GATED_SCENARIO = "nic_drop"
+
+
+@pytest.fixture(scope="module")
+def gated_cells():
+    labeled, _, _ = _chaos_specs(N_REQUESTS, SEED)
+    picked = [
+        (name, spec) for scenario, name, spec in labeled
+        if scenario == GATED_SCENARIO and name != "adaptive_bandit"
+    ]
+    results = run_points([spec for _, spec in picked], label="adaptive-gate")
+    return {
+        name: point.metrics["p99_during_ns"]
+        for (name, _), point in zip(picked, results)
+    }
+
+
+def test_hysteresis_beats_every_static_on_gated_scenario(gated_cells):
+    adaptive = gated_cells.pop("adaptive_hyst")
+    assert gated_cells, "expected static comparison cells"
+    best_static = min(gated_cells.values())
+    assert adaptive == adaptive, "during-window p99 must be measurable"
+    assert adaptive <= best_static, (
+        f"adaptive hysteresis p99 {adaptive:.0f} ns lost to the best "
+        f"static policy's {best_static:.0f} ns: {gated_cells}"
+    )
+
+
+def test_statics_pay_for_leaking_onto_the_lossy_server(gated_cells):
+    """The gate is only meaningful while the scenario actually
+    separates the cells: load-aware statics must not all collapse onto
+    the adaptive number."""
+    assert max(gated_cells.values()) > 2 * min(gated_cells.values())

@@ -68,3 +68,22 @@ def test_faulted_run_is_self_deterministic():
     first = run_fingerprint("rack+faults")
     second = run_fingerprint("rack+faults")
     assert first == second
+
+
+def test_static_controller_golden_matches_uncontrolled():
+    """Attaching the do-nothing static controller adds epoch timers but
+    must not perturb a single event: its golden entry equals the plain
+    entry field-for-field."""
+    import json
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["rack+ctl:static"] == golden["rack"]
+
+
+def test_controlled_run_is_self_deterministic():
+    """An actuating controller (drains, knob pushes, policy swaps under
+    faults) draws only from the dedicated "control" stream, so
+    controlled runs are bit-reproducible too."""
+    first = run_fingerprint("rack+faults+ctl:hysteresis")
+    second = run_fingerprint("rack+faults+ctl:hysteresis")
+    assert first == second

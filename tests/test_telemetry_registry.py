@@ -149,3 +149,81 @@ class TestNamespaceCollision:
         scope.put("x", 1.0)
         scope.put("x", 2.0)
         assert stats.extra["a.x"] == 2.0
+
+
+class TestFilteredSnapshot:
+    """snapshot(prefix): the cheap namespaced read the control loop
+    polls every epoch."""
+
+    def _hierarchy(self):
+        root = MetricRegistry()
+        root.counter("faults.dropped").inc(3)
+        root.counter("faults.retry.attempts").inc(7)
+        root.counter("system.completed").inc(11)
+        child = MetricRegistry()
+        child.counter("cluster.decisions").inc(5)
+        child.counter("queue.len").inc(2)
+        root.attach_child("rack0", child)
+        root.attach_snapshot("shard1", {"cluster.decisions": 9, "other": 1})
+        return root
+
+    def test_prefix_selects_own_namespace(self):
+        root = self._hierarchy()
+        assert root.snapshot("faults") == {
+            "faults.dropped": 3,
+            "faults.retry.attempts": 7,
+        }
+
+    def test_nested_prefix(self):
+        root = self._hierarchy()
+        assert root.snapshot("faults.retry") == {"faults.retry.attempts": 7}
+
+    def test_exact_name_match(self):
+        root = self._hierarchy()
+        assert root.snapshot("faults.dropped") == {"faults.dropped": 3}
+
+    def test_prefix_descends_into_children(self):
+        root = self._hierarchy()
+        assert root.snapshot("rack0.cluster") == {
+            "rack0.cluster.decisions": 5,
+        }
+
+    def test_child_mount_point_selects_whole_child(self):
+        root = self._hierarchy()
+        assert root.snapshot("rack0") == {
+            "rack0.cluster.decisions": 5,
+            "rack0.queue.len": 2,
+        }
+
+    def test_prefix_filters_attached_snapshots(self):
+        root = self._hierarchy()
+        assert root.snapshot("shard1.cluster") == {
+            "shard1.cluster.decisions": 9,
+        }
+
+    def test_disjoint_prefix_is_empty(self):
+        root = self._hierarchy()
+        assert root.snapshot("nothing") == {}
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(MetricNamespaceError):
+            self._hierarchy().snapshot("bad prefix!")
+
+    def test_filtered_equals_filtering_the_full_snapshot(self):
+        root = self._hierarchy()
+        full = root.snapshot()
+        for prefix in ("faults", "faults.retry", "system", "rack0",
+                       "rack0.cluster", "shard1"):
+            expected = {
+                name: value for name, value in full.items()
+                if name == prefix or name.startswith(prefix + ".")
+            }
+            assert root.snapshot(prefix) == expected
+
+    def test_unfiltered_snapshot_unchanged(self):
+        root = self._hierarchy()
+        full = root.snapshot()
+        assert full["system.completed"] == 11
+        assert full["rack0.queue.len"] == 2
+        assert full["shard1.other"] == 1
+        assert len(full) == 7
