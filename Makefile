@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast adaptive-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast adaptive-fast fanout-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,12 +20,13 @@ bench:
 ## Regression gate: re-run the two gated microbenchmarks and fail if
 ## stats.min regressed >2% against BENCH_BASELINE (a same-machine
 ## pytest-benchmark JSON; defaults to the committed baseline).
-BENCH_BASELINE ?= BENCH_20260808T224955Z.json
-BENCH_GATED = test_event_heap_throughput,test_full_system_simulation_rate,test_bench_sharded_datacenter
+BENCH_BASELINE ?= BENCH_20260809T004455Z.json
+BENCH_GATED = test_event_heap_throughput,test_full_system_simulation_rate,test_bench_sharded_datacenter,test_bench_fanout_jobs
 bench-gate:
 	$(PYTHON) -m pytest benchmarks/test_engine_perf.py benchmarks/test_sharded.py \
+		benchmarks/test_fanout.py \
 		--benchmark-only -q \
-		-k "event_heap_throughput or full_system_simulation_rate or bench_sharded_datacenter" \
+		-k "event_heap_throughput or full_system_simulation_rate or bench_sharded_datacenter or bench_fanout_jobs" \
 		--benchmark-json=BENCH_gate_candidate.json
 	$(PYTHON) tools/compare_bench.py $(BENCH_BASELINE) \
 		BENCH_gate_candidate.json --benchmarks $(BENCH_GATED)
@@ -66,6 +67,12 @@ datacenter-fast:
 ## multi-tenant load.  Controllers force serial uncached execution.
 adaptive-fast:
 	$(PYTHON) -m repro.experiments.cli adaptive --scale 0.2 --jobs 1 --no-cache --out results/
+
+## Reduced-scale job-model study (the fig_fanout experiment):
+## scatter-gather p99 vs fan-out k across sibling-routing policies,
+## plus gang admission waits across the zero-queueing boundary.
+fanout-fast:
+	$(PYTHON) -m repro.experiments.cli fanout --scale 0.2 --jobs 0 --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -39,11 +39,41 @@ from repro.telemetry import record_run
 from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
 from repro.workload.connections import ConnectionPool
 from repro.workload.generator import LoadGenerator
+from repro.workload.jobs import (
+    Job,
+    JobLoadGenerator,
+    JobShape,
+    JobTracker,
+    system_supports_gang,
+)
 from repro.workload.request import Request
 from repro.workload.service import Exponential, ServiceDistribution
 
 #: A very long horizon; runs normally stop on request-count completion.
 _MAX_HORIZON_NS = 10**15
+
+
+@dataclass
+class JobRunSummary:
+    """Job-level outcome of a job-structured run (``None`` otherwise).
+
+    The same numbers also travel flat under the ``job.*`` namespace of
+    ``SimulationResult.extra`` so they cross the sweep runner's process
+    boundary and cache without any schema change.
+    """
+
+    #: Jobs emitted / completed (all siblings ok) / dropped (any failed).
+    count: int
+    completed: int
+    dropped: int
+    #: Total sub-requests scattered (what the system's ``expect`` saw).
+    subrequests: int
+    mean_fanout: float
+    mean_core_demand: float
+    #: Job latency (scatter to last sibling response), post-warmup.
+    latency: LatencySummary
+    #: Per-job records, for job-level analysis hooks.
+    records: Sequence[Job] = field(default_factory=tuple)
 
 
 @dataclass
@@ -65,6 +95,9 @@ class SimulationResult:
     #: The system instance, for post-run introspection (e.g. the
     #: Altocumulus ``predicted_ids`` set feeding prediction accuracy).
     system: Optional[RpcSystem] = None
+    #: Job-level summary for job-structured runs (``None`` when the
+    #: workload was flat or its job shape was trivial).
+    jobs: Optional[JobRunSummary] = None
 
     def violation_ratio(self, slo_ns: float) -> float:
         """Fraction of measured requests exceeding ``slo_ns``."""
@@ -196,8 +229,18 @@ def run_workload(
     size_bytes: int = 300,
     faults: Optional[FaultPlan] = None,
     control: Optional[ControlConfig] = None,
+    jobs: Optional[JobShape] = None,
 ) -> SimulationResult:
     """Drive a workload through ``system`` to completion and measure it.
+
+    With a non-trivial :class:`~repro.workload.jobs.JobShape`,
+    ``n_requests`` counts *jobs*: each scatters its fan-out of sibling
+    sub-requests at one arrival instant (completing on the last
+    response) and/or demands multiple cores simultaneously (gang
+    admission -- the system must declare ``supports_gang``).  The
+    trivial shape (fan-out 1, demand 1) and ``jobs=None`` compile down
+    to the flat ``Request`` path bit-identically: no ``"jobs"`` stream
+    draw, no tracker, nothing.
 
     With a :class:`~repro.faults.FaultPlan` (passed explicitly, or
     ambient via :func:`repro.faults.use_fault_plan`), a
@@ -233,22 +276,54 @@ def run_workload(
         # Built after the injector so the loop senses the fault
         # instruments, before the generator so epoch 0 starts at t=0.
         loop = ControlLoop(sim, streams, control_cfg, system)
-    generator = LoadGenerator(
-        sim,
-        streams,
-        arrivals,
-        service,
-        sink=client.send if client is not None else system.offer,
-        n_requests=n_requests,
-        size_bytes=size_bytes,
-        connections=connections,
-        request_factory=request_factory,
-        warmup_fraction=warmup_fraction,
-    )
-    if client is not None:
-        client.expect(n_requests)
+    sink = client.send if client is not None else system.offer
+    tracker: Optional[JobTracker] = None
+    if jobs is not None and not jobs.is_trivial:
+        if jobs.core_demand.max_value > 1 and not system_supports_gang(system):
+            raise ValueError(
+                f"system {system.name!r} does not support multi-core gang "
+                "jobs (core_demand > 1); use a gang-capable scheduler "
+                "(altocumulus, jbsq variants) at every leaf"
+            )
+        tracker = JobTracker(sim, trace=getattr(system, "trace", None))
+        generator = JobLoadGenerator(
+            sim,
+            streams,
+            arrivals,
+            service,
+            sink=sink,
+            n_jobs=n_requests,
+            shape=jobs,
+            tracker=tracker,
+            size_bytes=size_bytes,
+            connections=connections,
+            request_factory=request_factory,
+            warmup_fraction=warmup_fraction,
+        )
+        expected = generator.total_subrequests
+        if client is not None:
+            tracker.attach_client(client)
+            client.expect(expected)
+        else:
+            tracker.attach_system(system)
+            system.expect(expected)
     else:
-        system.expect(n_requests)
+        generator = LoadGenerator(
+            sim,
+            streams,
+            arrivals,
+            service,
+            sink=sink,
+            n_requests=n_requests,
+            size_bytes=size_bytes,
+            connections=connections,
+            request_factory=request_factory,
+            warmup_fraction=warmup_fraction,
+        )
+        if client is not None:
+            client.expect(n_requests)
+        else:
+            system.expect(n_requests)
     generator.start()
     sim.run(until=_MAX_HORIZON_NS)
     if injector is not None:
@@ -259,6 +334,37 @@ def run_workload(
         loop.finalize()
     system.shutdown()
     measured = generator.measured_requests()
+    job_summary: Optional[JobRunSummary] = None
+    if tracker is not None:
+        # Distill the job-level outcome into the ``job.*`` namespace
+        # (after shutdown's own scoped writes, before the registry
+        # snapshot, so it rides ``extra`` through the sweep cache).
+        measured_jobs = generator.measured_jobs()
+        job_latency = summarize_latencies(measured_jobs)
+        n_jobs = len(generator.jobs)
+        job_summary = JobRunSummary(
+            count=n_jobs,
+            completed=tracker.completed_jobs,
+            dropped=tracker.dropped_jobs,
+            subrequests=generator.total_subrequests,
+            mean_fanout=generator.total_subrequests / n_jobs,
+            mean_core_demand=sum(generator._demands) / n_jobs,
+            latency=job_latency,
+            records=tuple(generator.jobs),
+        )
+        scoped = system.stats.scoped("job")
+        scoped.put("count", job_summary.count)
+        scoped.put("completed", job_summary.completed)
+        scoped.put("dropped", job_summary.dropped)
+        scoped.put("subrequests", job_summary.subrequests)
+        scoped.put("measured", job_latency.count)
+        scoped.put("mean_fanout", job_summary.mean_fanout)
+        scoped.put("mean_core_demand", job_summary.mean_core_demand)
+        if job_latency.count:
+            scoped.put("mean_ns", job_latency.mean)
+            scoped.put("p50_ns", job_latency.p50)
+            scoped.put("p99_ns", job_latency.p99)
+            scoped.put("max_ns", job_latency.maximum)
     registry = getattr(system, "metrics", None)
     metrics_snapshot = registry.snapshot() if registry is not None else {}
     record_run(system.name, metrics_snapshot)
@@ -274,6 +380,7 @@ def run_workload(
         extra=dict(system.stats.extra),
         metrics=metrics_snapshot,
         system=system,
+        jobs=job_summary,
     )
 
 
@@ -289,6 +396,7 @@ def quick_run(
     shards: Optional[int] = None,
     shard_mode: str = "process",
     control: Optional[ControlConfig] = None,
+    jobs: Optional[JobShape] = None,
 ) -> SimulationResult:
     """One-call simulation: Poisson arrivals, exponential service by
     default, 10% warmup discarded.
@@ -334,6 +442,7 @@ def quick_run(
         n_requests=n_requests,
         faults=faults,
         control=control,
+        jobs=jobs,
     )
 
 

@@ -1,0 +1,85 @@
+"""Shared completion/in-flight bookkeeping for fabric tiers.
+
+:class:`RackCluster` and :class:`Datacenter` both present the
+:class:`~repro.schedulers.base.RpcSystem` duck interface over a set of
+member systems, and both used to re-implement the same terminal
+accounting: count member completions and drops into their own
+``SystemStats``, fan the terminals out to attached hooks (the retry
+client, the job tracker), and stop the simulator once ``expect(n)``
+terminals have been observed.  :class:`FabricBookkeeping` is that logic,
+once.
+
+A tier mixes it in, calls :meth:`_init_fabric` during construction, and
+wires its members' ``completion_hooks``/``drop_hooks`` (and its switch
+drop callback) to :meth:`_member_completed` / :meth:`_member_dropped`.
+Tier-specific per-completion accounting (the datacenter's tenant SLO
+attainment) goes in the :meth:`_account_completion` override -- a no-op
+here, so the rack tier pays nothing for the seam.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workload.request import Request
+
+
+class FabricBookkeeping:
+    """Terminal accounting shared by the rack and datacenter tiers.
+
+    Expects the host class to provide ``sim`` (the simulator) and
+    ``stats`` (a :class:`~repro.schedulers.base.SystemStats`).
+    """
+
+    def _init_fabric(self) -> None:
+        """Initialize terminal-accounting state (call in ``__init__``)."""
+        self._expected: Optional[int] = None
+        #: Tier-level terminal hooks, mirroring RpcSystem's: fired after
+        #: the tier's own accounting for every member completion, member
+        #: drop, and switch tail-drop.  The fault-injection retry client
+        #: and the job tracker attach here.
+        self.completion_hooks: List[object] = []
+        self.drop_hooks: List[object] = []
+
+    # ------------------------------------------------------------------
+    def expect(self, n_requests: int) -> None:
+        """Stop the simulation once ``n_requests`` terminate anywhere in
+        the fabric (completed at a member, dropped at a member, or
+        dropped at this tier's switch)."""
+        if n_requests <= 0:
+            raise ValueError(
+                f"expected count must be positive, got {n_requests}"
+            )
+        self._expected = n_requests
+
+    # ------------------------------------------------------------------
+    def _account_completion(self, request: Request) -> None:
+        """Tier-specific per-completion accounting (template method)."""
+
+    def _member_completed(self, request: Request) -> None:
+        self.stats.completed += 1
+        self._account_completion(request)
+        for hook in self.completion_hooks:
+            hook(request)
+        self._check_done()
+
+    def _member_dropped(self, request: Request) -> None:
+        self.stats.dropped += 1
+        for hook in self.drop_hooks:
+            hook(request)
+        self._check_done()
+
+    def _switch_dropped(self, request: Request, port: int) -> None:
+        """Tail-drop callback for this tier's switch (port is unused by
+        the accounting but part of the switch's drop signature)."""
+        self._member_dropped(request)
+
+    def _check_done(self) -> None:
+        if (
+            self._expected is not None
+            and self.stats.completed + self.stats.dropped >= self._expected
+        ):
+            self.sim.stop()
+
+
+__all__ = ["FabricBookkeeping"]

@@ -9,7 +9,9 @@ inter-server layer can pin a hot flow to one server and overload it
 while its neighbours idle, no matter how well each server schedules
 internally.
 
-Four policies span the design space:
+Six policies span the design space (four load-(un)aware classics plus
+the two job-sibling routing endpoints, :class:`StickyJobSteering` and
+:class:`SpreadJobSteering`):
 
 * :class:`ConnectionHashSteering` -- hash the flow id to a server (what
   an ECMP/RSS-style fabric does today).  Load-oblivious; hot flows pin.
@@ -57,7 +59,9 @@ from repro.workload.request import Request
 
 #: Policy-name registry; values are the constructor names accepted by
 #: :func:`make_policy` and :class:`repro.cluster.topology.RackConfig`.
-POLICY_NAMES = ("hash", "round_robin", "power_of_d", "shortest_wait")
+POLICY_NAMES = (
+    "hash", "round_robin", "power_of_d", "shortest_wait", "sticky", "spread",
+)
 
 #: Default number of sampled servers for power-of-d choices.
 DEFAULT_D = 2
@@ -118,6 +122,44 @@ class ConnectionHashSteering(SteeringPolicy):
 
     def _pick(self, request: Request) -> int:
         return (request.connection * 2654435761) % (2**32) % self.n_servers
+
+
+class StickyJobSteering(SteeringPolicy):
+    """Hash the *job* id to a server: every sibling sub-request of a
+    scatter-gather job lands on the same destination.
+
+    The job-affinity end of the sibling-routing spectrum: one queue
+    absorbs the whole scatter, so a k-wide job behaves like a k-request
+    burst on one server -- cache/state locality at the cost of the
+    self-inflicted incast the spread policy avoids.  Flat requests
+    (``job_id is None``) degrade to connection hashing, making this a
+    strict generalization of :class:`ConnectionHashSteering`.
+    """
+
+    name = "sticky"
+
+    def _pick(self, request: Request) -> int:
+        key = request.job_id if request.job_id is not None else request.connection
+        return (key * 2654435761) % (2**32) % self.n_servers
+
+
+class SpreadJobSteering(SteeringPolicy):
+    """Stride a job's siblings across distinct servers.
+
+    The anti-affinity end of the spectrum: sibling ``i`` goes to
+    ``(job_hash + i) mod n``, so a k <= n scatter touches k distinct
+    servers and no single queue absorbs the burst -- the static
+    mitigation of the hash blow-up that load-aware policies achieve
+    dynamically.  Flat requests degrade to connection hashing.
+    """
+
+    name = "spread"
+
+    def _pick(self, request: Request) -> int:
+        if request.job_id is None:
+            return (request.connection * 2654435761) % (2**32) % self.n_servers
+        base = (request.job_id * 2654435761) % (2**32)
+        return (base + request.sibling_index) % self.n_servers
 
 
 class RoundRobinSteering(SteeringPolicy):
@@ -380,6 +422,10 @@ def make_policy(
     """Construct a steering policy by registry name."""
     if name == "hash":
         return ConnectionHashSteering(n_servers)
+    if name == "sticky":
+        return StickyJobSteering(n_servers)
+    if name == "spread":
+        return SpreadJobSteering(n_servers)
     if name == "round_robin":
         return RoundRobinSteering(n_servers)
     if name == "power_of_d":

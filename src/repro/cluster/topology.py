@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster import metrics as cluster_metrics
+from repro.cluster.fabric import FabricBookkeeping
 from repro.cluster.policies import (
     DEFAULT_D,
     DEFAULT_SAMPLE_PERIOD_NS,
@@ -104,12 +105,14 @@ class RackConfig:
         return self.total_cores / mean_service_ns * 1e9
 
 
-class RackCluster:
+class RackCluster(FabricBookkeeping):
     """N independent scheduler systems behind one switch and one policy.
 
     Implements the system duck interface :func:`repro.api.run_workload`
     expects, so a rack can be driven (and cached, and fanned out by the
-    sweep runner) exactly like a single server.
+    sweep runner) exactly like a single server.  Terminal accounting
+    (``expect`` / completion and drop hooks / end-of-run detection) is
+    the shared :class:`~repro.cluster.fabric.FabricBookkeeping`.
     """
 
     def __init__(
@@ -148,22 +151,16 @@ class RackCluster:
             staleness_ns=config.staleness_ns,
             sample_period_ns=config.sample_period_ns,
         )
-        self._expected: Optional[int] = None
+        self._init_fabric()
         self._deliver = [server.offer for server in self.servers]
-        #: Rack-level terminal hooks, mirroring RpcSystem's: fired after
-        #: the rack's own accounting for every server completion, server
-        #: drop, and switch tail-drop.  The fault-injection retry client
-        #: attaches here to observe per-attempt terminals.
-        self.completion_hooks: List[object] = []
-        self.drop_hooks: List[object] = []
         #: Liveness view; the fault injector swaps in a live HealthView
         #: (shared with ``policy.health``) when a plan is attached.
         self.health = self.policy.health
         self.switch.register_metrics(self.metrics)
         cluster_metrics.register_cluster_instruments(self, self.metrics)
         for i, server in enumerate(self.servers):
-            server.completion_hooks.append(self._server_completed)
-            server.drop_hooks.append(self._server_dropped)
+            server.completion_hooks.append(self._member_completed)
+            server.drop_hooks.append(self._member_dropped)
             child = getattr(server, "metrics", None)
             if child is not None:
                 self.metrics.attach_child(f"srv{i}", child)
@@ -177,42 +174,6 @@ class RackCluster:
         self.stats.offered += 1
         server = self.policy.pick_server(request)
         self.switch.forward(request, server, self._deliver[server])
-
-    def expect(self, n_requests: int) -> None:
-        """Stop the simulation once ``n_requests`` terminate anywhere in
-        the rack (completed at a server, dropped at a server, or dropped
-        at the switch)."""
-        if n_requests <= 0:
-            raise ValueError(f"expected count must be positive, got {n_requests}")
-        self._expected = n_requests
-
-    # ------------------------------------------------------------------
-    # Terminal accounting
-    # ------------------------------------------------------------------
-    def _server_completed(self, request: Request) -> None:
-        self.stats.completed += 1
-        for hook in self.completion_hooks:
-            hook(request)
-        self._check_done()
-
-    def _server_dropped(self, request: Request) -> None:
-        self.stats.dropped += 1
-        for hook in self.drop_hooks:
-            hook(request)
-        self._check_done()
-
-    def _switch_dropped(self, request: Request, port: int) -> None:
-        self.stats.dropped += 1
-        for hook in self.drop_hooks:
-            hook(request)
-        self._check_done()
-
-    def _check_done(self) -> None:
-        if (
-            self._expected is not None
-            and self.stats.completed + self.stats.dropped >= self._expected
-        ):
-            self.sim.stop()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -49,9 +49,19 @@ from repro.workload.request import Request
 
 
 class AltocumulusSystem(RpcSystem):
-    """Two-tier decentralized scheduling with proactive migrations."""
+    """Two-tier decentralized scheduling with proactive migrations.
+
+    Gang admission: a request with ``core_demand == c > 1`` waits at the
+    head of its group's NetRX until ``c`` of the group's workers are
+    fully idle, then the primary plus ``c - 1`` gang shadows dispatch to
+    those workers together (see :mod:`repro.workload.jobs`).  A demand
+    wider than the group is dropped visibly at dispatch time -- the
+    MIGRATE machinery may still move a queued gang head to another group
+    first, since descriptors migrate before they dispatch.
+    """
 
     name = "altocumulus"
+    supports_gang = True
 
     def __init__(
         self,
@@ -138,6 +148,9 @@ class AltocumulusSystem(RpcSystem):
         #: (plain attribute: fault instruments must not widen the pinned
         #: metrics schema of fault-free builds).
         self.dead_nack_descriptors = 0
+        #: Gang jobs whose core demand exceeded their group's worker
+        #: count at dispatch time (plain attribute, same schema rule).
+        self.gang_infeasible_drops = 0
 
         #: Running per-group occupancy totals, kept in lock-step with
         #: ``occupancy`` (mutated only at dispatch/complete): the arrival
@@ -241,6 +254,11 @@ class AltocumulusSystem(RpcSystem):
         trace = self.trace
         tracing = trace.enabled
         while entries:
+            head = entries[0]
+            if head.core_demand > 1:
+                if not self._admit_gang(group, head):
+                    return
+                continue
             worker = self._least_occupied(occ, cfg.worker_bound)
             if worker is None:
                 return
@@ -252,6 +270,42 @@ class AltocumulusSystem(RpcSystem):
             if tracing and trace.sampled(request.req_id):
                 trace.mark(request.req_id, "dispatch", self.sim.now)
             self.sim.schedule(delay, self._arrive_at_worker, group, worker, request)
+
+    def _admit_gang(self, group: int, request: Request) -> bool:
+        """Dispatch the group's head gang iff ``core_demand`` workers
+        are fully idle; returns False when the head must keep waiting
+        (head-of-line gang blocking).  Demands wider than the group are
+        dropped visibly -- no schedule of this group can admit them.
+        """
+        from repro.workload.jobs import make_gang_shadow
+
+        mrs = self.managers[group].mrs
+        occ = self.occupancy[group]
+        demand = request.core_demand
+        if demand > len(occ):
+            mrs.dequeue_head()
+            self.gang_infeasible_drops += 1
+            self._drop(request)
+            return True  # head consumed; keep pumping
+        idle = [w for w, v in enumerate(occ) if v == 0]
+        if len(idle) < demand:
+            return False
+        mrs.dequeue_head()
+        members = [request] + [
+            make_gang_shadow(request, slot) for slot in range(1, demand)
+        ]
+        trace = self.trace
+        for worker, member in zip(idle, members):
+            occ[worker] += 1
+            self._occ_total[group] += 1
+            delay = self._dispatch_delay(group, worker)
+            self._charge_scheduling(delay)
+            if trace.enabled and trace.sampled(member.req_id):
+                trace.mark(member.req_id, "dispatch", self.sim.now)
+            self.sim.schedule(
+                delay, self._arrive_at_worker, group, worker, member
+            )
+        return True
 
     @staticmethod
     def _least_occupied(occ: List[int], bound: int) -> Optional[int]:

@@ -157,7 +157,7 @@ class MirrorRack:
         )
 
     # Replay application: the mirrored tail of RackCluster's
-    # _server_completed / _server_dropped / _switch_dropped chains.
+    # _member_completed / _member_dropped / _switch_dropped chains.
     def apply_completion(self, request: Request) -> None:
         self.stats.completed += 1
         self.finished.append(request)
@@ -394,7 +394,7 @@ class ShardedDatacenter(Datacenter):
             forward_latency_ns=config.spine_forward_latency_ns,
             port_queue_depth=config.spine_port_queue_depth,
             spine_links=config.spine_links,
-            on_drop=self._spine_dropped,
+            on_drop=self._switch_dropped,
             export=self._spine_buffer,
         )
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.cluster.fabric import FabricBookkeeping
 from repro.cluster.policies import (
     DEFAULT_D,
     DEFAULT_SAMPLE_PERIOD_NS,
@@ -132,12 +133,16 @@ class DatacenterConfig:
         return self.total_cores / mean_service_ns * 1e9
 
 
-class Datacenter:
+class Datacenter(FabricBookkeeping):
     """R independent racks behind one spine layer and one policy.
 
     Implements the system duck interface :func:`repro.api.run_workload`
     expects, so a datacenter can be driven (and cached, and fanned out
     by the sweep runner) exactly like a single server or a rack.
+    Terminal accounting (``expect`` / completion and drop hooks /
+    end-of-run detection) is the shared
+    :class:`~repro.cluster.fabric.FabricBookkeeping`; this tier adds
+    per-tenant SLO attainment via the ``_account_completion`` override.
     """
 
     def __init__(
@@ -182,12 +187,8 @@ class Datacenter:
             staleness_ns=config.staleness_ns,
             sample_period_ns=config.sample_period_ns,
         )
-        self._expected: Optional[int] = None
+        self._init_fabric()
         self._deliver = [rack.offer for rack in self.racks]
-        #: Datacenter-level terminal hooks, mirroring RpcSystem's; the
-        #: fault-injection retry client attaches here.
-        self.completion_hooks: List[object] = []
-        self.drop_hooks: List[object] = []
         #: Liveness view over racks; the fault injector swaps in a live
         #: HealthView (shared with ``policy.health``) when a plan is
         #: attached.
@@ -197,8 +198,8 @@ class Datacenter:
         if self.tenant_mix is not None:
             dc_metrics.register_tenant_instruments(self, self.metrics)
         for i, rack in enumerate(self.racks):
-            rack.completion_hooks.append(self._rack_completed)
-            rack.drop_hooks.append(self._rack_dropped)
+            rack.completion_hooks.append(self._member_completed)
+            rack.drop_hooks.append(self._member_dropped)
             self.metrics.attach_child(f"rack{i}", rack.metrics)
         self.policy.start()
 
@@ -215,7 +216,7 @@ class Datacenter:
             forward_latency_ns=config.spine_forward_latency_ns,
             port_queue_depth=config.spine_port_queue_depth,
             spine_links=config.spine_links,
-            on_drop=self._spine_dropped,
+            on_drop=self._switch_dropped,
         )
 
     # ------------------------------------------------------------------
@@ -227,18 +228,10 @@ class Datacenter:
         rack = self.policy.pick_server(request)
         self.spine.forward(request, rack, self._deliver[rack])
 
-    def expect(self, n_requests: int) -> None:
-        """Stop the simulation once ``n_requests`` terminate anywhere in
-        the fabric (completed at a server, dropped at a server or a ToR,
-        or dropped at the spine)."""
-        if n_requests <= 0:
-            raise ValueError(f"expected count must be positive, got {n_requests}")
-        self._expected = n_requests
-
     # ------------------------------------------------------------------
-    # Terminal accounting
+    # Terminal accounting (FabricBookkeeping, plus tenant attainment)
     # ------------------------------------------------------------------
-    def _account_tenant(self, request: Request) -> None:
+    def _account_completion(self, request: Request) -> None:
         mix = self.tenant_mix
         if mix is None:
             return
@@ -251,32 +244,6 @@ class Datacenter:
         self.tenant_completed[tenant] += 1
         if request.latency <= mix.tenants[tenant].slo_ns:
             self.tenant_slo_met[tenant] += 1
-
-    def _rack_completed(self, request: Request) -> None:
-        self.stats.completed += 1
-        self._account_tenant(request)
-        for hook in self.completion_hooks:
-            hook(request)
-        self._check_done()
-
-    def _rack_dropped(self, request: Request) -> None:
-        self.stats.dropped += 1
-        for hook in self.drop_hooks:
-            hook(request)
-        self._check_done()
-
-    def _spine_dropped(self, request: Request, port: int) -> None:
-        self.stats.dropped += 1
-        for hook in self.drop_hooks:
-            hook(request)
-        self._check_done()
-
-    def _check_done(self) -> None:
-        if (
-            self._expected is not None
-            and self.stats.completed + self.stats.dropped >= self._expected
-        ):
-            self.sim.stop()
 
     # ------------------------------------------------------------------
     # Introspection

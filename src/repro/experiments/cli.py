@@ -36,6 +36,7 @@ ALIASES = {
     "chaos": "fig_chaos",
     "datacenter": "fig_datacenter",
     "adaptive": "fig_adaptive",
+    "fanout": "fig_fanout",
 }
 
 

@@ -103,6 +103,10 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
         "repro.experiments.fig_adaptive",
         "control plane: adaptive controllers vs static steering policies",
     ),
+    "fig_fanout": ExperimentInfo(
+        "repro.experiments.fig_fanout",
+        "job model: scatter-gather fan-out x steering, gang admission",
+    ),
 }
 
 

@@ -122,6 +122,11 @@ class RetryClient:
         self._next_attempt_id = _ATTEMPT_ID_BASE
         self._expected: Optional[int] = None
         self._terminal_logical = 0
+        #: Called as ``hook(original_request, succeeded)`` at each
+        #: logical verdict -- the per-sub-request terminal the job
+        #: tracker observes under faults (empty outside job workloads,
+        #: so plain fault runs are untouched).
+        self.logical_hooks: list = []
         system.completion_hooks.append(self._on_attempt_completed)
         system.drop_hooks.append(self._on_attempt_dropped)
 
@@ -287,6 +292,8 @@ class RetryClient:
     def _logical_terminal(self, state: _Logical) -> None:
         if state.succeeded:
             self._m_succeeded.value += 1
+        for hook in self.logical_hooks:
+            hook(state.original, state.succeeded)
         self._terminal_logical += 1
         if (
             self._expected is not None

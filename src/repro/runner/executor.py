@@ -160,6 +160,7 @@ def execute_point(spec: PointSpec) -> PointResult:
         size_bytes=spec.size_bytes,
         faults=spec.faults,
         control=spec.control,
+        jobs=spec.jobs,
     )
     violation = (
         result.violation_ratio(spec.slo_ns) if spec.slo_ns is not None else None

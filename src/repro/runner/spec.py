@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.control.config import ControlConfig
 from repro.faults.plan import FaultPlan
+from repro.workload.jobs import JobShape
 from repro.workload.service import ServiceDistribution
 
 #: Bump when the execution or result layout changes incompatibly;
@@ -43,7 +44,8 @@ from repro.workload.service import ServiceDistribution
 #: 3: PointSpec/SweepSpec grew the ``faults`` FaultPlan field.
 #: 4: PointSpec/SweepSpec grew the ``shards`` sharded-execution field.
 #: 5: PointSpec/SweepSpec grew the ``control`` ControlConfig field.
-SPEC_SCHEMA_VERSION = 5
+#: 6: PointSpec/SweepSpec grew the ``jobs`` JobShape field.
+SPEC_SCHEMA_VERSION = 6
 
 
 class SpecError(TypeError):
@@ -178,6 +180,13 @@ class PointSpec:
     #: of primitives, so it pickles and content-hashes cleanly.  Does
     #: not compose with ``shards > 1`` (the executor rejects it).
     control: Optional[ControlConfig] = None
+    #: Job structure over the request stream (``None`` = plain
+    #: independent requests, the fast path).  A JobShape is a dataclass
+    #: of degree distributions, so it pickles and content-hashes
+    #: cleanly; the shape participates in the cache key because the same
+    #: builder/rate/seed produces entirely different traffic once
+    #: requests are grouped into scatter-gather or gang jobs.
+    jobs: Optional[JobShape] = None
     #: Free-form label for progress display and result grouping; part of
     #: the identity (two differently-tagged identical runs cache apart).
     tag: str = ""
@@ -218,6 +227,7 @@ class SweepSpec:
     faults: Optional[FaultPlan] = None
     shards: int = 1
     control: Optional[ControlConfig] = None
+    jobs: Optional[JobShape] = None
     tag: str = ""
 
     def points(self) -> List[PointSpec]:
@@ -239,6 +249,7 @@ class SweepSpec:
                 faults=self.faults,
                 shards=self.shards,
                 control=self.control,
+                jobs=self.jobs,
                 tag=self.tag,
             )
             for rate in self.rates_rps

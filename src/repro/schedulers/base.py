@@ -175,6 +175,14 @@ class RpcSystem(abc.ABC):
     #: Human-readable system name, overridden by subclasses.
     name = "abstract"
 
+    #: Whether this scheduler admits multi-core gang jobs
+    #: (``core_demand > 1``): it must hold such a request at its queue
+    #: head until enough cores are idle, then occupy the extras with
+    #: gang shadows.  Declared per subclass; the workload layer
+    #: validates it up-front (:func:`repro.workload.jobs
+    #: .system_supports_gang`) so the hot path never checks.
+    supports_gang = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -251,6 +259,12 @@ class RpcSystem(abc.ABC):
     # Core callbacks (template methods; not overridden)
     # ------------------------------------------------------------------
     def _request_completed(self, core: Core, request: Request) -> None:
+        if request.gang_shadow:
+            # A gang's secondary-core placeholder: invisible to stats,
+            # hooks, histograms and run termination -- only the
+            # scheduler's occupancy bookkeeping sees it free its core.
+            self._after_complete(core, request)
+            return
         self.stats.completed += 1
         self._latency_hist.observe(request.finished - request.arrival)
         trace = self.trace
@@ -268,6 +282,11 @@ class RpcSystem(abc.ABC):
     def _drop(self, request: Request) -> None:
         """Drop a request (bounded-queue overflow)."""
         request.dropped = True
+        if request.gang_shadow:
+            # Same fence as _request_completed: a shadow's terminal must
+            # never count toward stats, hooks or run termination (its
+            # primary carries the job's outcome).
+            return
         self.stats.dropped += 1
         trace = self.trace
         if trace.enabled and trace.sampled(request.req_id):

@@ -36,9 +36,20 @@ from repro.workload.request import Request
 
 
 class JbsqSystem(RpcSystem):
-    """Central NIC queue + JBSQ(n) push to bounded per-core queues."""
+    """Central NIC queue + JBSQ(n) push to bounded per-core queues.
+
+    Gang admission: a request with ``core_demand == c > 1`` waits at the
+    central queue's *head* until ``c`` cores are fully idle (FCFS with
+    head-of-line gang blocking, the admission discipline of "Zero
+    Queueing for Multi-Server Jobs"), then the primary plus ``c - 1``
+    gang shadows dispatch to those cores together.  Gangs are intended
+    for the non-preemptive configurations; under a preemption quantum a
+    displaced shadow re-queues like any request, conserving work but
+    relaxing the all-cores-simultaneous guarantee.
+    """
 
     name = "jbsq"
+    supports_gang = True
 
     def __init__(
         self,
@@ -70,17 +81,32 @@ class JbsqSystem(RpcSystem):
         #: Requests at / in flight to each core (JBSQ occupancy).
         self.occupancy: List[int] = [0] * n_cores
         self.local_wait: List[Deque[Request]] = [deque() for _ in range(n_cores)]
+        #: Gang jobs whose core demand exceeds the machine (plain
+        #: attribute, not a registry instrument: gang counters must not
+        #: widen the pinned metrics schema of flat-request builds).
+        self.gang_infeasible_drops = 0
 
     # ------------------------------------------------------------------
     def _deliver(self, request: Request) -> None:
         request.enqueued = self.sim.now
         request.queue_len_at_arrival = len(self.central) + sum(self.occupancy)
+        if request.core_demand > len(self.cores):
+            # No schedule can ever admit this gang; drop it visibly
+            # rather than wedging the queue head forever.
+            self.gang_infeasible_drops += 1
+            self._drop(request)
+            return
         self.central.append(request)
         self._pump()
 
     def _pump(self) -> None:
         """Push central-queue heads to the least-occupied eligible cores."""
         while self.central:
+            head = self.central[0]
+            if head.core_demand > 1:
+                if not self._admit_gang(head):
+                    return
+                continue
             target = self._pick_core()
             if target is None:
                 return
@@ -91,6 +117,35 @@ class JbsqSystem(RpcSystem):
                 self.sim.schedule(self.dispatch_ns, self._arrive_at_core, target, request)
             else:
                 self._arrive_at_core(target, request)
+
+    def _admit_gang(self, request: Request) -> bool:
+        """Dispatch the head gang iff ``core_demand`` cores are idle.
+
+        Idle means zero JBSQ occupancy -- nothing running, queued or in
+        flight -- so all gang members start together the moment they
+        land.  Returns False (head stays, blocking the queue) when too
+        few cores are free right now.
+        """
+        from repro.workload.jobs import make_gang_shadow
+
+        demand = request.core_demand
+        idle = [i for i, occ in enumerate(self.occupancy) if occ == 0]
+        if len(idle) < demand:
+            return False
+        self.central.popleft()
+        members = [request] + [
+            make_gang_shadow(request, slot) for slot in range(1, demand)
+        ]
+        for target, member in zip(idle, members):
+            self.occupancy[target] += 1
+            self._charge_scheduling(self.dispatch_ns)
+            if self.dispatch_ns > 0:
+                self.sim.schedule(
+                    self.dispatch_ns, self._arrive_at_core, target, member
+                )
+            else:
+                self._arrive_at_core(target, member)
+        return True
 
     def _pick_core(self) -> Optional[int]:
         """Shortest queue among cores under the bound; None if all full."""

@@ -40,6 +40,18 @@ from repro.workload.tenants import (
     tenant_slo_summary,
 )
 from repro.workload.generator import LoadGenerator
+from repro.workload.jobs import (
+    ChoiceDegree,
+    DegreeDistribution,
+    FixedDegree,
+    Job,
+    JobLoadGenerator,
+    JobShape,
+    JobTracker,
+    UniformDegree,
+    make_gang_shadow,
+    system_supports_gang,
+)
 from repro.workload.closed_loop import ClosedLoopGenerator
 from repro.workload.cloud import RateSeriesArrivals, synthesize_rate_series
 from repro.workload.traces import load_trace, save_trace
@@ -67,6 +79,16 @@ __all__ = [
     "SuperposedArrivals",
     "tenant_slo_summary",
     "LoadGenerator",
+    "DegreeDistribution",
+    "FixedDegree",
+    "ChoiceDegree",
+    "UniformDegree",
+    "JobShape",
+    "Job",
+    "JobTracker",
+    "JobLoadGenerator",
+    "make_gang_shadow",
+    "system_supports_gang",
     "ClosedLoopGenerator",
     "RateSeriesArrivals",
     "synthesize_rate_series",

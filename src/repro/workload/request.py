@@ -71,6 +71,17 @@ class Request:
     extra_latency:
         Added on-core overhead (preemption switches, remote EREW
         accesses, ...) accumulated during execution.
+    job_id / fanout / sibling_index:
+        Job structure (:mod:`repro.workload.jobs`): the owning job, its
+        scatter-gather width, and this sub-request's position in it.
+        All unset (``job_id is None``, ``fanout == 1``) for flat
+        requests -- the compiled-down single-sub-request case.
+    core_demand:
+        Cores this request occupies simultaneously (gang width); 1 for
+        everything outside multi-core-job workloads.
+    gang_shadow:
+        True for the placeholder requests occupying a gang's secondary
+        cores; fenced out of all system-level accounting.
     """
 
     req_id: int
@@ -98,6 +109,11 @@ class Request:
     extra_latency: float = 0.0
     remaining: float = field(default=0.0)
     app_result: Any = None
+    job_id: Optional[int] = None
+    fanout: int = 1
+    sibling_index: int = 0
+    core_demand: int = 1
+    gang_shadow: bool = False
 
     def __post_init__(self) -> None:
         if self.service_time < 0:

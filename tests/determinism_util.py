@@ -71,10 +71,21 @@ CONTROLLED_GOLDEN_SYSTEMS = (
     "rack+faults+ctl:hysteresis",
 )
 
-#: Every golden entry (plain, faulted, sharded, then controlled).
+#: Job-structured golden entries: the same fixed workload grouped into
+#: jobs (:mod:`repro.workload.jobs`).  A ``"+fanout"`` suffix scatters
+#: mixed-width jobs (shared sibling flows) and a ``"+gang"`` suffix
+#: admits mixed-demand multi-core gangs; both pin the job-path event
+#: order -- the dedicated ``"jobs"`` stream, the scatter emission order,
+#: gang admission and shadow dispatch -- against refactors.  Captured
+#: when the job model was introduced.
+JOB_GOLDEN_SYSTEMS = (
+    "rack+fanout", "datacenter+fanout", "altocumulus+gang",
+)
+
+#: Every golden entry (plain, faulted, sharded, controlled, then jobs).
 ALL_GOLDEN_SYSTEMS = (
     GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS + SHARDED_GOLDEN_SYSTEMS
-    + CONTROLLED_GOLDEN_SYSTEMS
+    + CONTROLLED_GOLDEN_SYSTEMS + JOB_GOLDEN_SYSTEMS
 )
 
 _GOLDEN_RETRY = RetryPolicy(
@@ -133,6 +144,21 @@ _SHARDED_RE = re.compile(r"\+sharded(\d+)$")
 #: ``ControlConfig(controller=name)`` at the library-default epoch.
 _CTL_RE = re.compile(r"\+ctl:([a-z_]+)$")
 
+
+def _golden_job_shapes():
+    """Fixed job shapes for the ``+fanout`` / ``+gang`` suffixes.
+
+    Built lazily (the suffix strings stay importable even if the jobs
+    module is being refactored) but deterministic: the shapes are
+    constants of the golden contract.
+    """
+    from repro.workload.jobs import ChoiceDegree, JobShape
+
+    return {
+        "fanout": JobShape(fanout=ChoiceDegree((1, 2, 4), (0.5, 0.3, 0.2))),
+        "gang": JobShape(core_demand=ChoiceDegree((1, 2), (0.75, 0.25))),
+    }
+
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that
 #: Altocumulus migrations and work stealing actually trigger.
@@ -151,9 +177,18 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     ``system`` may be a plain registered name, a ``"<name>+faults"``
     entry (same workload under that entry's fault plan), and/or carry a
     ``"+sharded<N>"`` suffix (same workload through the sharded
-    parallel-in-time coordinator with N shards) or a ``"+ctl:<name>"``
-    suffix (same workload with that adaptive controller attached).
+    parallel-in-time coordinator with N shards), a ``"+ctl:<name>"``
+    suffix (same workload with that adaptive controller attached), or a
+    ``"+fanout"`` / ``"+gang"`` suffix (same workload grouped into the
+    fixed golden job shapes).
     """
+    jobs = None
+    for shape_name, shape_suffix in (("fanout", "+fanout"),
+                                     ("gang", "+gang")):
+        if system.endswith(shape_suffix):
+            jobs = _golden_job_shapes()[shape_name]
+            system = system[: -len(shape_suffix)]
+            break
     control: Optional[ControlConfig] = None
     ctl = _CTL_RE.search(system)
     if ctl is not None:
@@ -168,7 +203,7 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     if faults is not None:
         system = system.rsplit("+", 1)[0]
     result = quick_run(system=system, faults=faults, shards=shards,
-                       control=control, **GOLDEN_PARAMS)
+                       control=control, jobs=jobs, **GOLDEN_PARAMS)
     hasher = hashlib.sha256()
     for r in result.requests:
         record = (
@@ -184,7 +219,16 @@ def run_fingerprint(system: str) -> Dict[str, object]:
         )
         hasher.update(json.dumps(record).encode())
     lat = result.latency
-    return {
+    job_digest: Optional[Dict[str, object]] = None
+    if result.jobs is not None:
+        job_digest = {
+            "count": result.jobs.count,
+            "completed": result.jobs.completed,
+            "dropped": result.jobs.dropped,
+            "subrequests": result.jobs.subrequests,
+            "job_p99_ns": repr(result.jobs.latency.p99),
+        }
+    fingerprint = {
         "system_name": result.system_name,
         "requests_sha256": hasher.hexdigest(),
         "count": lat.count,
@@ -198,6 +242,9 @@ def run_fingerprint(system: str) -> Dict[str, object]:
         "throughput_rps": repr(result.throughput_rps),
         "dropped": result.dropped,
     }
+    if job_digest is not None:
+        fingerprint["jobs"] = job_digest
+    return fingerprint
 
 
 def all_fingerprints() -> Dict[str, Dict[str, object]]:

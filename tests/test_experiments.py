@@ -29,7 +29,7 @@ class TestRegistry:
             "fig01", "fig03", "tab1", "fig07", "fig09",
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "tab2_tab3", "ablations", "validation", "fig_rack",
-            "fig_chaos", "fig_datacenter", "fig_adaptive",
+            "fig_chaos", "fig_datacenter", "fig_adaptive", "fig_fanout",
         ]
 
     def test_unknown_experiment_rejected(self):

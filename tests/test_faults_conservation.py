@@ -180,3 +180,84 @@ def test_faulted_runs_are_reproducible():
     assert keys
     for key in keys:
         assert runs[0][key] == runs[1][key], key
+
+
+# ----------------------------------------------------------------------
+# Sub-request granularity under scatter-gather
+# ----------------------------------------------------------------------
+# With a job structure attached, the client injects one logical request
+# per *sub-request*; the attempt/logical identities above must hold at
+# that granularity, and on top of them a job-level identity appears:
+#
+#     job.completed + job.dropped == job.count        (job conservation)
+#     client.retry.injected == job.subrequests        (scatter accounting)
+#
+# SCENARIO's server_crash at t=10us lands mid-run for these rates, so
+# siblings of one job routinely straddle a crash window: some complete,
+# some retry, some exhaust retries -- the all-or-nothing job verdict
+# must stay consistent with the per-sub logical verdicts throughout.
+
+from repro.workload.jobs import ChoiceDegree, FixedDegree, JobShape, UniformDegree  # noqa: E402
+
+FANOUT_SHAPE = JobShape(fanout=ChoiceDegree((1, 2, 4), (0.5, 0.3, 0.2)))
+
+
+def assert_jobs_conserved(result):
+    extra = result.extra
+    assert extra["job.completed"] + extra["job.dropped"] == extra["job.count"]
+    c = {key.rsplit(".", 1)[-1]: value
+         for key, value in result.metrics.items()
+         if key.startswith("client.retry.")}
+    assert c["injected"] == extra["job.subrequests"]
+    # Per-sub logical verdicts must telescope into the job verdicts:
+    # every failed sub dooms its whole job, so failed subs can never
+    # exceed the dropped jobs' total fan-out, and completed jobs need
+    # every sibling succeeded.
+    records = result.jobs.records
+    failed_fanout = sum(j.fanout for j in records if j.dropped)
+    assert c["failed"] <= failed_fanout
+    assert sum(j.fanout for j in records if j.completed) <= c["succeeded"]
+
+
+@pytest.mark.parametrize("system", ["altocumulus", "rack", "datacenter"])
+def test_scatter_gather_conserves_subrequests_mid_crash(system):
+    result = quick_run(
+        system, n_cores=N_CORES, rate_rps=RATE_RPS, mean_service_ns=1000.0,
+        n_requests=N_REQUESTS, seed=SEED, faults=SCENARIO, jobs=FANOUT_SHAPE,
+    )
+    assert_conserved(result.metrics, result.extra["job.subrequests"])
+    assert_jobs_conserved(result)
+
+
+def test_scatter_gather_faulted_runs_are_reproducible():
+    runs = [
+        quick_run("rack", n_cores=N_CORES, rate_rps=RATE_RPS,
+                  n_requests=N_REQUESTS, seed=SEED, faults=SCENARIO,
+                  jobs=FANOUT_SHAPE)
+        for _ in range(2)
+    ]
+    for key in ("job.count", "job.completed", "job.dropped",
+                "job.subrequests"):
+        assert runs[0].extra[key] == runs[1].extra[key], key
+
+
+@st.composite
+def job_shapes(draw):
+    fanout = draw(st.sampled_from([
+        FixedDegree(2),
+        FixedDegree(4),
+        UniformDegree(1, 4),
+        ChoiceDegree((1, 2, 4)),
+        ChoiceDegree((1, 8), (0.8, 0.2)),
+    ]))
+    connections = draw(st.sampled_from(["shared", "distinct"]))
+    return JobShape(fanout=fanout, sibling_connections=connections)
+
+
+@given(plan=fault_plans(n_servers=4, cores_per_server=2), shape=job_shapes())
+@_RANDOMIZED
+def test_randomized_fanout_and_fault_plans_rack(plan, shape):
+    result = quick_run("rack", n_cores=N_CORES, rate_rps=RATE_RPS,
+                       n_requests=150, seed=SEED, faults=plan, jobs=shape)
+    assert_conserved(result.metrics, result.extra["job.subrequests"])
+    assert_jobs_conserved(result)

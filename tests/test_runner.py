@@ -138,6 +138,37 @@ class TestFingerprint:
     def test_salt_and_schema_guard(self):
         assert fingerprint(_point()) != fingerprint(_point(), salt="v2")
 
+    def test_job_shape_is_content_hashed_into_the_cache_key(self):
+        # Same builder/rate/seed with and without a job structure must
+        # never share a cache key: grouped traffic is different traffic.
+        from repro.workload.jobs import ChoiceDegree, FixedDegree, JobShape
+
+        flat = _point()
+        fanout = _point(jobs=JobShape(fanout=FixedDegree(4)))
+        assert fingerprint(flat) != fingerprint(fanout)
+        # ... and distinct shapes must hash apart from each other, even
+        # when they only differ in weights or sibling-connection mode.
+        variants = [
+            _point(jobs=JobShape(fanout=FixedDegree(2))),
+            _point(jobs=JobShape(fanout=ChoiceDegree((1, 4)))),
+            _point(jobs=JobShape(fanout=ChoiceDegree((1, 4), (0.9, 0.1)))),
+            _point(jobs=JobShape(fanout=FixedDegree(2),
+                                 sibling_connections="distinct")),
+            _point(jobs=JobShape(core_demand=FixedDegree(2))),
+        ]
+        prints = [fingerprint(v) for v in (flat, fanout, *variants)]
+        assert len(set(prints)) == len(prints)
+
+    def test_sweep_spec_forwards_jobs_to_points(self):
+        from repro.workload.jobs import FixedDegree, JobShape
+
+        shape = JobShape(fanout=FixedDegree(2))
+        sweep = SweepSpec(
+            builder=ref(_builder, n_cores=4), service=Fixed(500.0),
+            rates_rps=[1e6, 2e6], n_requests=100, jobs=shape,
+        )
+        assert all(p.jobs is shape for p in sweep.points())
+
     def test_numpy_scalars_and_arrays_hash_stably(self):
         spec = TaskSpec(fn=ref(_answer, x=int(np.int64(4))))
         assert fingerprint(spec) == fingerprint(spec)
