@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast adaptive-fast fanout-fast clean
+.PHONY: install test bench bench-gate artifacts examples smoke sweep-fast rack-fast chaos-fast datacenter-fast adaptive-fast fanout-fast contention-fast clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -73,6 +73,12 @@ adaptive-fast:
 ## plus gang admission waits across the zero-queueing boundary.
 fanout-fast:
 	$(PYTHON) -m repro.experiments.cli fanout --scale 0.2 --jobs 0 --out results/
+
+## Reduced-scale data-layer contention study (the fig_contention
+## experiment): ownership discipline x hot-key skew x migration
+## threshold, showing where EREW+migration loses to CREW+multiversion.
+contention-fast:
+	$(PYTHON) -m repro.experiments.cli contention --scale 0.2 --jobs 0 --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,63 @@
+"""Benchmarks for the MICA data-layer hot path.
+
+The ownership layer (``repro.kvs.ownership``) gates admission only for
+the wired CREW/CRCW/d-CREW modes; plain EREW workloads never construct
+an ``OwnershipTable`` and must pay nothing for the feature.  The first
+benchmark pins the legacy EREW request path so any accidental coupling
+shows up in the benchmark history; the second tracks the gated CREW
+admission path itself so its own cost stays attributable.
+"""
+
+from repro.kvs.dataset import build_dataset
+from repro.kvs.handlers import MicaServiceModel, MicaWorkload
+from repro.kvs.ownership import OwnershipTable
+from repro.workload.request import Request
+
+N_REQUESTS = 10_000
+
+
+def _drive_workload(workload):
+    requests = []
+    for i in range(N_REQUESTS):
+        req = Request(req_id=i, arrival=float(i), service_time=0.0)
+        workload.request_factory(req)
+        requests.append(req)
+    for req in requests:
+        workload.execute(req)
+    return workload.executed
+
+
+def test_erew_request_path_rate(benchmark):
+    """Legacy EREW draw + execute loop (no ownership table in play)."""
+
+    def spin():
+        dataset = build_dataset(n_partitions=4, n_keys=400, seed=3)
+        workload = MicaWorkload(dataset, MicaServiceModel.nanorpc(),
+                                n_groups=4, scan_fraction=0.005, seed=5)
+        return _drive_workload(workload)
+
+    executed = benchmark(spin)
+    assert executed == N_REQUESTS
+
+
+def test_crew_admission_rate(benchmark):
+    """Raw admit/abort cost of the gated admission path under a skewed
+    key population (every request consults the ownership table)."""
+
+    def spin():
+        table = OwnershipTable(n_partitions=4, mode="crew")
+        waits = 0.0
+        for i in range(N_REQUESTS):
+            decision = table.admit(
+                partition=i % 4,
+                write=(i % 10 == 0),
+                now=float(i) * 40.0,
+                hold_ns=100.0,
+                group=i % 3,
+            )
+            waits += decision.wait_ns
+        return table.admissions, waits
+
+    admissions, waits = benchmark(spin)
+    assert admissions == N_REQUESTS
+    assert waits >= 0.0

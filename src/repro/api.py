@@ -46,6 +46,8 @@ from repro.workload.jobs import (
     JobTracker,
     system_supports_gang,
 )
+from repro.kvs.ownership import KvsSpec
+from repro.kvs.wiring import wire_kvs
 from repro.workload.request import Request
 from repro.workload.service import Exponential, ServiceDistribution
 
@@ -230,8 +232,17 @@ def run_workload(
     faults: Optional[FaultPlan] = None,
     control: Optional[ControlConfig] = None,
     jobs: Optional[JobShape] = None,
+    kvs: Optional[KvsSpec] = None,
 ) -> SimulationResult:
     """Drive a workload through ``system`` to completion and measure it.
+
+    With a :class:`~repro.kvs.KvsSpec`, a MICA store + ownership table +
+    workload are built (deterministically from the streams' master seed)
+    and wired into every leaf of ``system``: the workload supplies the
+    ``request_factory`` and its ``execute`` hook runs each op against
+    the store under the spec's concurrency discipline, surfacing
+    ``kvs.*`` and ``kvs.ownership.*`` instruments in ``metrics``.
+    Mutually exclusive with an explicit ``request_factory``.
 
     With a non-trivial :class:`~repro.workload.jobs.JobShape`,
     ``n_requests`` counts *jobs*: each scatters its fan-out of sibling
@@ -257,6 +268,13 @@ def run_workload(
     every control epoch and lets the configured controller actuate
     steering, threshold, drain, and capacity knobs mid-run.
     """
+    if kvs is not None:
+        if request_factory is not None:
+            raise ValueError(
+                "pass either kvs= or request_factory=, not both"
+            )
+        workload = wire_kvs(system, sim, kvs, seed=streams.master_seed)
+        request_factory = workload.request_factory
     plan = faults if faults is not None else active_fault_plan()
     injector: Optional[FaultInjector] = None
     client: Optional[RetryClient] = None
@@ -397,6 +415,7 @@ def quick_run(
     shard_mode: str = "process",
     control: Optional[ControlConfig] = None,
     jobs: Optional[JobShape] = None,
+    kvs: Optional[KvsSpec] = None,
 ) -> SimulationResult:
     """One-call simulation: Poisson arrivals, exponential service by
     default, 10% warmup discarded.
@@ -412,6 +431,12 @@ def quick_run(
     """
     streams = RandomStreams(seed)
     if shards is not None:
+        if kvs is not None:
+            raise ValueError(
+                "a KvsSpec does not compose with sharded execution: the "
+                "shared store would break the shards' isolation; pass "
+                "shards=None when kvs is set"
+            )
         if control is not None:
             raise ValueError(
                 "controllers do not compose with sharded execution: "
@@ -443,6 +468,7 @@ def quick_run(
         faults=faults,
         control=control,
         jobs=jobs,
+        kvs=kvs,
     )
 
 

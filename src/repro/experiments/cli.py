@@ -37,6 +37,7 @@ ALIASES = {
     "datacenter": "fig_datacenter",
     "adaptive": "fig_adaptive",
     "fanout": "fig_fanout",
+    "contention": "fig_contention",
 }
 
 

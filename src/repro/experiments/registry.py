@@ -107,6 +107,10 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
         "repro.experiments.fig_fanout",
         "job model: scatter-gather fan-out x steering, gang admission",
     ),
+    "fig_contention": ExperimentInfo(
+        "repro.experiments.fig_contention",
+        "data layer: ownership discipline x hot-key skew x migration",
+    ),
 }
 
 

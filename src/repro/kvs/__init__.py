@@ -16,6 +16,12 @@ functional Python equivalent:
 * :mod:`repro.kvs.handlers` -- GET/SET/SCAN RPC handlers with the
   service-time model for the eRPC (~850 ns) and nanoRPC (~50 ns)
   stacks, plus the EREW remote-owner penalty migrated requests pay.
+* :mod:`repro.kvs.ownership` -- pluggable per-key concurrency control
+  (EREW / CREW / CRCW / d-CREW admission gating) with RLU-style
+  multiversion reads, and the picklable :class:`KvsSpec` that wires a
+  KVS-backed workload through quick_run/run_workload/PointSpec.
+* :mod:`repro.kvs.wiring` -- attaches a KvsSpec's store + workload to
+  any built system (single server, rack, datacenter).
 """
 
 from repro.kvs.log import CircularLog, LogRecord
@@ -24,6 +30,15 @@ from repro.kvs.store import MicaPartition, MicaStore
 from repro.kvs.dataset import Dataset, build_dataset
 from repro.kvs.dedup import DuplicateDetector
 from repro.kvs.handlers import MicaServiceModel, MicaWorkload
+from repro.kvs.ownership import (
+    MIX_PRESETS,
+    OWNERSHIP_MODES,
+    Admission,
+    KvsSpec,
+    MultiversionAccessor,
+    OwnershipTable,
+)
+from repro.kvs.wiring import wire_kvs
 
 __all__ = [
     "CircularLog",
@@ -36,4 +51,11 @@ __all__ = [
     "DuplicateDetector",
     "MicaServiceModel",
     "MicaWorkload",
+    "OWNERSHIP_MODES",
+    "MIX_PRESETS",
+    "Admission",
+    "KvsSpec",
+    "MultiversionAccessor",
+    "OwnershipTable",
+    "wire_kvs",
 ]

@@ -10,11 +10,12 @@ the full-size figure is a parameter away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.kvs.store import MicaStore
+from repro.telemetry import MetricRegistry
 
 #: Paper's key/value sizes.
 KEY_BYTES = 16
@@ -58,11 +59,14 @@ def build_dataset(
     n_buckets_per_partition: int = 2_048,
     log_bytes_per_partition: int = 32 << 20,
     seed: int = 7,
+    registry: Optional[MetricRegistry] = None,
 ) -> Dataset:
     """Create a store and preload ``n_keys`` key/value pairs.
 
     Values are pseudo-random bytes of the configured size; keys are
-    dense and deterministic so tests can re-derive them.
+    dense and deterministic so tests can re-derive them.  Pass
+    ``registry`` to surface the per-partition ``kvs.p<i>.*`` counters
+    through an existing telemetry hierarchy.
     """
     if n_keys <= 0:
         raise ValueError(f"need at least one key, got {n_keys}")
@@ -70,6 +74,7 @@ def build_dataset(
         n_partitions,
         n_buckets_per_partition=n_buckets_per_partition,
         log_bytes_per_partition=log_bytes_per_partition,
+        registry=registry,
     )
     rng = np.random.default_rng(seed)
     keys: List[bytes] = []

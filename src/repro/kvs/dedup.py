@@ -17,30 +17,60 @@ the bookkeeping identity::
 
 so no request can be served twice without the duplicate counter
 incrementing -- the at-most-once contract, made auditable.
+
+Real windows are *bounded*: the server only remembers the last ``W``
+ids per shard, so a sufficiently late duplicate arrives after its id
+expired and goes undetected (executed again, counted unique).  Pass
+``window=W`` to model that bound; the default ``None`` keeps the exact
+unbounded legacy behavior.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from collections import OrderedDict
+from typing import Optional, Set, Union
 
 from repro.telemetry import MetricRegistry
 
 
 class DuplicateDetector:
-    """Tracks which logical request ids have already been served."""
+    """Tracks which logical request ids have already been served.
 
-    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
-        self._served: Set[int] = set()
+    With ``window=W`` only the ``W`` most recently *first-served* ids
+    are remembered (strict FIFO on first service -- a duplicate does not
+    refresh its id's position).  Ids falling out of the window bump the
+    ``kvs.dedup.expired`` counter; a duplicate arriving after expiry is
+    indistinguishable from a fresh request and counts unique again.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        window: Optional[int] = None,
+    ) -> None:
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._served: Union[Set[int], "OrderedDict[int, None]"] = (
+            set() if window is None else OrderedDict()
+        )
         registry = registry if registry is not None else MetricRegistry()
         self._m_unique = registry.counter("kvs.dedup.unique")
         self._m_duplicates = registry.counter("kvs.dedup.duplicates")
+        self._m_expired = registry.counter("kvs.dedup.expired")
 
     def observe(self, logical_id: int) -> bool:
         """Record one completed attempt; True when it is a duplicate."""
         if logical_id in self._served:
             self._m_duplicates.value += 1
             return True
-        self._served.add(logical_id)
+        if self.window is None:
+            self._served.add(logical_id)
+        else:
+            self._served[logical_id] = None
+            if len(self._served) > self.window:
+                self._served.popitem(last=False)
+                self._m_expired.value += 1
         self._m_unique.value += 1
         return False
 
@@ -54,6 +84,15 @@ class DuplicateDetector:
     @property
     def duplicates(self) -> int:
         return self._m_duplicates.value
+
+    @property
+    def expired(self) -> int:
+        return self._m_expired.value
+
+    @property
+    def tracked(self) -> int:
+        """How many ids the window currently remembers."""
+        return len(self._served)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -32,6 +32,7 @@ import numpy as np
 from repro.hw.constants import DEFAULT_CONSTANTS, HwConstants
 from repro.hw.memory import MemoryBandwidthModel
 from repro.kvs.dataset import Dataset
+from repro.kvs.ownership import OWNERSHIP_MODES, OwnershipTable
 from repro.workload.connections import ConnectionPool
 from repro.workload.request import Request, RequestKind
 
@@ -72,15 +73,37 @@ class MicaServiceModel:
             extra = self.set_extra_ns * 0.5
         return self.stack_ns + extra + probe_depth * self.probe_ns
 
-    def mean_service_ns(self, get_fraction: float, scan_fraction: float) -> float:
-        """Analytic mean of the op mix (probe depth ~ 1)."""
+    def mean_service_ns(
+        self,
+        get_fraction: float,
+        scan_fraction: float = 0.0,
+        delete_fraction: float = 0.0,
+        probe_depth: float = 1.0,
+    ) -> float:
+        """Analytic mean of the op mix.
+
+        ``delete_fraction`` carves DELETEs out of the non-SCAN mass
+        (mirroring :meth:`MicaWorkload.request_factory`'s draw order),
+        and ``probe_depth`` is the expected hash-bucket probe depth --
+        pass the store's measured mean instead of assuming 1.
+        """
         if not 0 <= scan_fraction <= 1 or not 0 <= get_fraction <= 1:
             raise ValueError("fractions must be in [0,1]")
-        gs = 1.0 - scan_fraction
-        get = self.stack_ns + self.get_extra_ns + self.probe_ns
-        set_ = self.stack_ns + self.set_extra_ns + self.probe_ns
-        return gs * (get_fraction * get + (1 - get_fraction) * set_) + (
-            scan_fraction * self.scan_ns
+        if not 0 <= delete_fraction <= 1:
+            raise ValueError("delete_fraction must be in [0,1]")
+        if scan_fraction + delete_fraction > 1:
+            raise ValueError("scan + delete fractions exceed 1")
+        if probe_depth < 0:
+            raise ValueError(f"probe_depth must be >= 0, got {probe_depth}")
+        gs = 1.0 - scan_fraction - delete_fraction
+        probe = probe_depth * self.probe_ns
+        get = self.stack_ns + self.get_extra_ns + probe
+        set_ = self.stack_ns + self.set_extra_ns + probe
+        delete = self.stack_ns + self.set_extra_ns * 0.5 + probe
+        return (
+            gs * (get_fraction * get + (1 - get_fraction) * set_)
+            + scan_fraction * self.scan_ns
+            + delete_fraction * delete
         )
 
 
@@ -95,9 +118,9 @@ class MicaWorkload:
     (the paper's partition-per-manager mapping).
     """
 
-    #: Per-op concurrency-control cost in CREW mode (version check /
-    #: optimistic validation on every access -- the overhead EREW avoids,
-    #: Sec. IX-B).
+    #: Per-op concurrency-control cost in the non-EREW modes (version
+    #: check / optimistic validation on every access -- the overhead
+    #: EREW avoids, Sec. IX-B).
     CREW_CONTROL_NS = 8.0
 
     def __init__(
@@ -114,8 +137,13 @@ class MicaWorkload:
         constants: HwConstants = DEFAULT_CONSTANTS,
         groups_per_socket: Optional[int] = None,
         memory: Optional[MemoryBandwidthModel] = None,
+        ownership: Optional[OwnershipTable] = None,
+        hot_key_fraction: float = 0.0,
+        hot_keys: int = 16,
+        affinity: bool = True,
+        sim=None,
     ) -> None:
-        if dataset.store.n_partitions != n_groups:
+        if affinity and dataset.store.n_partitions != n_groups:
             raise ValueError(
                 f"dataset has {dataset.store.n_partitions} partitions but the "
                 f"system has {n_groups} groups; EREW needs one partition per group"
@@ -126,8 +154,12 @@ class MicaWorkload:
             raise ValueError("delete_fraction must be in [0,1]")
         if scan_fraction + delete_fraction > 1:
             raise ValueError("scan + delete fractions exceed 1")
-        if mode not in ("erew", "crew"):
-            raise ValueError(f"mode must be 'erew' or 'crew', got {mode!r}")
+        if mode not in OWNERSHIP_MODES:
+            raise ValueError(
+                f"mode must be one of {OWNERSHIP_MODES}, got {mode!r}"
+            )
+        if not 0 <= hot_key_fraction <= 1:
+            raise ValueError("hot_key_fraction must be in [0,1]")
         self.dataset = dataset
         self.model = model
         self.n_groups = int(n_groups)
@@ -142,18 +174,64 @@ class MicaWorkload:
         #: pay contention-dependent latency (Table I's "mem. b/w"
         #: bottleneck becomes observable at high throughput).
         self.memory = memory
+        #: Admission gate (repro.kvs.ownership).  CRCW/d-CREW require
+        #: one (created here if absent); EREW/CREW gate only when one is
+        #: passed explicitly -- the legacy path stays table-free and
+        #: bit-identical.
+        if ownership is None and mode in ("crcw", "dcrew"):
+            ownership = OwnershipTable(dataset.store.n_partitions, mode)
+        if ownership is not None and ownership.mode != mode:
+            raise ValueError(
+                f"ownership table is {ownership.mode!r} but workload mode "
+                f"is {mode!r}"
+            )
+        if (ownership is not None
+                and ownership.n_partitions != dataset.store.n_partitions):
+            raise ValueError(
+                f"ownership table covers {ownership.n_partitions} partitions "
+                f"but the store has {dataset.store.n_partitions}"
+            )
+        self.ownership = ownership
+        #: Simulator supplying the clock for admission bookkeeping; set
+        #: by wire_kvs (admission waits need simulated time).
+        self.sim = sim
+        self.affinity = bool(affinity)
+        self.hot_key_fraction = float(hot_key_fraction)
+        self._hot_keys = (
+            self._pick_hot_keys(int(hot_keys)) if hot_key_fraction > 0 else []
+        )
         self._rng = np.random.default_rng(seed)
         self._pool = ConnectionPool(max(1024, 64 * n_groups))
-        self._conn_for_group = self._find_representative_connections()
+        self._conn_for_group = (
+            self._find_representative_connections() if affinity else []
+        )
         sample = dataset.store.get(dataset.keys[0]) if dataset.keys else None
         self._sample_value = sample or b"\x00" * dataset.value_bytes
         self.executed = 0
         self.remote_accesses = 0
+        self.aborted = 0
 
     # ------------------------------------------------------------------
     #: Connections per group: enough that a baseline with per-core
     #: queues still sees a realistic many-flow mix.
     CONNS_PER_GROUP = 32
+
+    #: Partition that owns the hot-key set (fixed so the hot-key mix is
+    #: a *single-partition* hot spot by construction).
+    HOT_PARTITION = 0
+
+    def _pick_hot_keys(self, n: int) -> list:
+        """The first ``n`` dataset keys owned by :data:`HOT_PARTITION`."""
+        if n <= 0:
+            raise ValueError(f"need at least one hot key, got {n}")
+        store = self.dataset.store
+        hot = [k for k in self.dataset.keys
+               if store.owner_of(k) == self.HOT_PARTITION][:n]
+        if not hot:
+            raise ValueError(
+                f"dataset has no keys owned by partition {self.HOT_PARTITION}"
+            )
+        return hot
 
     def _find_representative_connections(self) -> list:
         """For each group, a pool of connection ids that RSS-hash onto it
@@ -190,28 +268,84 @@ class MicaWorkload:
                 kind = RequestKind.GET
             else:
                 kind = RequestKind.SET
-        key = self.dataset.sample_key(self._rng, self.zipf_s)
+        if (self.hot_key_fraction > 0.0
+                and self._rng.random() < self.hot_key_fraction):
+            # Hot-key mix: a concentrated slice of traffic hammers a
+            # handful of keys all owned by one partition.
+            hot = self._hot_keys
+            key = hot[int(self._rng.integers(0, len(hot)))]
+        else:
+            key = self.dataset.sample_key(self._rng, self.zipf_s)
         owner = self.dataset.store.owner_of(key)
         request.kind = kind
         request.key = key
-        pool = self._conn_for_group[owner]
-        request.connection = pool[int(self._rng.integers(0, len(pool)))]
+        if self.affinity:
+            pool = self._conn_for_group[owner % self.n_groups]
+            request.connection = pool[int(self._rng.integers(0, len(pool)))]
+        else:
+            # Multi-leaf fabrics: no owner-affine flow placement; the
+            # fabric's own steering decides where the request lands.
+            request.connection = int(
+                self._rng.integers(0, self._pool.n_connections)
+            )
         probe = self.dataset.store.partitions[owner].index.bucket_load(key)
         request.service_time = self.model.service_ns(kind, probe)
-        if self.mode == "crew":
-            # CREW pays concurrency control on every access.
+        if self.mode != "erew":
+            # Non-exclusive modes pay concurrency control (version
+            # check / validation) on every access.
             request.service_time += self.CREW_CONTROL_NS
         request.remaining = request.service_time
 
     # ------------------------------------------------------------------
     # Execution hook (AltocumulusSystem.execution_penalty compatible)
     # ------------------------------------------------------------------
-    def execute(self, request: Request) -> float:
+    def executor_for(self, group_offset: int):
+        """An ``execute`` hook whose leaf occupies the global group-id
+        range starting at ``group_offset`` (multi-leaf fabrics share one
+        workload; each leaf's local group ids are disambiguated by its
+        offset for the ownership audits)."""
+        def _execute(request: Request, _off: int = int(group_offset)) -> float:
+            return self.execute(request, group_offset=_off)
+        return _execute
+
+    def execute(self, request: Request, group_offset: int = 0) -> float:
         """Run the op against the store; return extra on-core latency
-        (the EREW remote-owner penalty for migrated requests)."""
+        (admission wait under the ownership discipline, plus the EREW
+        remote-owner penalty for migrated requests)."""
         if request.key is None:
             return 0.0
+        if request.gang_shadow:
+            # Gang shadows are bookkeeping clones of their primary; the
+            # primary alone touches the store.
+            return 0.0
         store = self.dataset.store
+        admission_wait = 0.0
+        if self.ownership is not None:
+            owner = store.owner_of(request.key)
+            write = request.kind in (RequestKind.SET, RequestKind.DELETE)
+            here = group_offset + (
+                request.group_id if request.group_id is not None else 0
+            )
+            if self.ownership.mode == "erew":
+                # EREW forwards every access to the owner group.
+                touch = owner
+            elif self.ownership.mode == "crcw":
+                touch = here
+            else:
+                # CREW/d-CREW: writes go to the owner, reads run local.
+                touch = owner if write else here
+            adm = self.ownership.admit(
+                owner,
+                write,
+                now=self.sim.now if self.sim is not None else 0.0,
+                hold_ns=request.service_time,
+                group=touch,
+            )
+            if adm.aborted:
+                self.aborted += 1
+                request.app_result = None
+                return 0.0
+            admission_wait = adm.wait_ns
         self.executed += 1
         if request.kind is RequestKind.GET:
             request.app_result = store.get(request.key)
@@ -221,24 +355,28 @@ class MicaWorkload:
             request.app_result = len(store.scan(request.key, self.model.scan_items))
         elif request.kind is RequestKind.DELETE:
             request.app_result = store.delete(request.key)
-        penalty = 0.0
+        penalty = admission_wait
         if self.memory is not None and request.kind in (
             RequestKind.GET, RequestKind.SET
         ):
             # The DRAM-resident value moves once per GET/SET; under
             # aggregate bandwidth pressure this inflates.
             penalty += self.memory.access(self.dataset.value_bytes)
-        if self.mode == "crew" and request.kind in (
+        if self.mode == "crcw":
+            # CRCW: every group accesses every partition directly -- no
+            # ownership penalty in either direction.
+            return penalty
+        if self.mode in ("crew", "dcrew") and request.kind in (
             RequestKind.GET, RequestKind.SCAN
         ):
-            # CREW: reads are concurrent everywhere -- no ownership
-            # penalty even for migrated requests.
+            # CREW/d-CREW: reads are concurrent everywhere -- no
+            # ownership penalty even for migrated requests.
             return penalty
         if request.migrations > 0:
             # Migrated away from the EREW owner: one remote access to the
             # owner's partition.
             self.remote_accesses += 1
-            penalty = self.constants.coherence_msg_ns
+            penalty = admission_wait + self.constants.coherence_msg_ns
             if self.groups_per_socket is not None:
                 owner = store.owner_of(request.key)
                 here = request.group_id if request.group_id is not None else owner

@@ -132,7 +132,20 @@ def execute_point(spec: PointSpec) -> PointResult:
             f"spec has control={spec.control.controller!r} and "
             f"shards={spec.shards}; set shards=1 to attach a controller"
         )
+    if spec.kvs is not None and spec.shards > 1:
+        raise ValueError(
+            "a KvsSpec does not compose with sharded execution: the "
+            f"shared store would break shard isolation; spec has "
+            f"shards={spec.shards}; set shards=1 to attach a data layer"
+        )
+    if spec.kvs is not None and spec.request_factory is not None:
+        raise ValueError("pass either kvs= or request_factory=, not both")
     system, sim, streams, request_factory = _build_point(spec)
+    if spec.kvs is not None and request_factory is not None:
+        raise ValueError(
+            "pass either kvs= or a wired builder returning its own "
+            "request_factory, not both"
+        )
     if spec.request_factory is not None:
         request_factory = spec.request_factory.resolve()()
     connections = (
@@ -161,6 +174,7 @@ def execute_point(spec: PointSpec) -> PointResult:
         faults=spec.faults,
         control=spec.control,
         jobs=spec.jobs,
+        kvs=spec.kvs,
     )
     violation = (
         result.violation_ratio(spec.slo_ns) if spec.slo_ns is not None else None

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.control.config import ControlConfig
 from repro.faults.plan import FaultPlan
+from repro.kvs.ownership import KvsSpec
 from repro.workload.jobs import JobShape
 from repro.workload.service import ServiceDistribution
 
@@ -45,7 +46,8 @@ from repro.workload.service import ServiceDistribution
 #: 4: PointSpec/SweepSpec grew the ``shards`` sharded-execution field.
 #: 5: PointSpec/SweepSpec grew the ``control`` ControlConfig field.
 #: 6: PointSpec/SweepSpec grew the ``jobs`` JobShape field.
-SPEC_SCHEMA_VERSION = 6
+#: 7: PointSpec/SweepSpec grew the ``kvs`` KvsSpec field.
+SPEC_SCHEMA_VERSION = 7
 
 
 class SpecError(TypeError):
@@ -187,6 +189,12 @@ class PointSpec:
     #: builder/rate/seed produces entirely different traffic once
     #: requests are grouped into scatter-gather or gang jobs.
     jobs: Optional[JobShape] = None
+    #: KVS-backed workload: a MICA store + ownership discipline wired
+    #: into every leaf of the built system (``None`` = no data layer).
+    #: KvsSpec is a frozen dataclass of primitives, so it pickles and
+    #: content-hashes cleanly; mutually exclusive with an explicit
+    #: ``request_factory`` and with ``shards > 1``.
+    kvs: Optional[KvsSpec] = None
     #: Free-form label for progress display and result grouping; part of
     #: the identity (two differently-tagged identical runs cache apart).
     tag: str = ""
@@ -228,6 +236,7 @@ class SweepSpec:
     shards: int = 1
     control: Optional[ControlConfig] = None
     jobs: Optional[JobShape] = None
+    kvs: Optional[KvsSpec] = None
     tag: str = ""
 
     def points(self) -> List[PointSpec]:
@@ -250,6 +259,7 @@ class SweepSpec:
                 shards=self.shards,
                 control=self.control,
                 jobs=self.jobs,
+                kvs=self.kvs,
                 tag=self.tag,
             )
             for rate in self.rates_rps

@@ -82,10 +82,24 @@ JOB_GOLDEN_SYSTEMS = (
     "rack+fanout", "datacenter+fanout", "altocumulus+gang",
 )
 
-#: Every golden entry (plain, faulted, sharded, controlled, then jobs).
+#: Data-layer golden entries: the same fixed workload driven through the
+#: MICA KVS with an ownership discipline attached
+#: (:mod:`repro.kvs.ownership`).  A ``"+crew-mv"`` suffix wires a CREW
+#: table with multiversion reads (epoch tracking, stale reads, deferred
+#: reclamation); ``"+dcrew-hotkey"`` wires a bounded d-CREW table (d=2)
+#: on the hot-key mix across the rack tier.  Both pin the data-path
+#: event order -- the KVS op stream, admission-wait startup charging,
+#: epoch commits -- against refactors.  Captured when the ownership
+#: layer was introduced.
+KVS_GOLDEN_SYSTEMS = (
+    "altocumulus+crew-mv", "rack+dcrew-hotkey",
+)
+
+#: Every golden entry (plain, faulted, sharded, controlled, jobs, then
+#: the KVS data layer).
 ALL_GOLDEN_SYSTEMS = (
     GOLDEN_SYSTEMS + FAULTED_GOLDEN_SYSTEMS + SHARDED_GOLDEN_SYSTEMS
-    + CONTROLLED_GOLDEN_SYSTEMS + JOB_GOLDEN_SYSTEMS
+    + CONTROLLED_GOLDEN_SYSTEMS + JOB_GOLDEN_SYSTEMS + KVS_GOLDEN_SYSTEMS
 )
 
 _GOLDEN_RETRY = RetryPolicy(
@@ -159,6 +173,18 @@ def _golden_job_shapes():
         "gang": JobShape(core_demand=ChoiceDegree((1, 2), (0.75, 0.25))),
     }
 
+
+def _golden_kvs_specs():
+    """Fixed data-layer specs for the ``+crew-mv`` / ``+dcrew-hotkey``
+    suffixes.  Lazy for the same reason as the job shapes; the specs are
+    constants of the golden contract."""
+    from repro.kvs.ownership import KvsSpec
+
+    return {
+        "crew-mv": KvsSpec(mode="crew", multiversion=True),
+        "dcrew-hotkey": KvsSpec(mode="dcrew", d=2, mix="hot_key"),
+    }
+
 #: Fixed workload: 32 cores at ~80% load with exponential service, small
 #: enough to run all five systems in a few seconds, loaded enough that
 #: Altocumulus migrations and work stealing actually trigger.
@@ -180,8 +206,17 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     parallel-in-time coordinator with N shards), a ``"+ctl:<name>"``
     suffix (same workload with that adaptive controller attached), or a
     ``"+fanout"`` / ``"+gang"`` suffix (same workload grouped into the
-    fixed golden job shapes).
+    fixed golden job shapes), or a ``"+crew-mv"`` / ``"+dcrew-hotkey"``
+    suffix (same workload driven through the MICA data layer under that
+    fixed ownership spec).
     """
+    kvs = None
+    for spec_name, spec_suffix in (("crew-mv", "+crew-mv"),
+                                   ("dcrew-hotkey", "+dcrew-hotkey")):
+        if system.endswith(spec_suffix):
+            kvs = _golden_kvs_specs()[spec_name]
+            system = system[: -len(spec_suffix)]
+            break
     jobs = None
     for shape_name, shape_suffix in (("fanout", "+fanout"),
                                      ("gang", "+gang")):
@@ -203,7 +238,7 @@ def run_fingerprint(system: str) -> Dict[str, object]:
     if faults is not None:
         system = system.rsplit("+", 1)[0]
     result = quick_run(system=system, faults=faults, shards=shards,
-                       control=control, jobs=jobs, **GOLDEN_PARAMS)
+                       control=control, jobs=jobs, kvs=kvs, **GOLDEN_PARAMS)
     hasher = hashlib.sha256()
     for r in result.requests:
         record = (

@@ -30,6 +30,7 @@ class TestRegistry:
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "tab2_tab3", "ablations", "validation", "fig_rack",
             "fig_chaos", "fig_datacenter", "fig_adaptive", "fig_fanout",
+            "fig_contention",
         ]
 
     def test_unknown_experiment_rejected(self):

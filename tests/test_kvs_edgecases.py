@@ -1,0 +1,208 @@
+"""Edge-case batteries for the MICA store's moving parts.
+
+Three corners the unit suites skim past:
+
+* **Probe depth under churn** -- bucket chains grow with collisions,
+  shrink on delete, and *stay* grown when the log evicts out from under
+  the index (the dangling entry still lengthens the probe until a GET
+  trips over it and self-heals).
+* **Log wraparound** -- multi-record eviction on one oversized append,
+  exact live-byte accounting across many wrap cycles, tail-skip over
+  the offset gaps eviction leaves behind.
+* **Dedup window expiry** -- the bounded at-most-once window is strict
+  FIFO on *first service*: duplicates do not refresh an id's position,
+  expired ids are re-served as unique, and the expired counter audits
+  every forgotten id.
+"""
+
+import pytest
+
+from repro.kvs.dedup import DuplicateDetector
+from repro.kvs.hashtable import HashIndex
+from repro.kvs.log import RECORD_HEADER_BYTES, CircularLog
+from repro.kvs.store import MicaPartition
+from repro.telemetry import MetricRegistry
+
+
+def record_size(key=b"k", value=b"v"):
+    return RECORD_HEADER_BYTES + len(key) + len(value)
+
+
+class TestProbeDepthGrowth:
+    def test_chain_grows_one_per_colliding_insert(self):
+        idx = HashIndex(1)  # everything collides
+        for i in range(1, 33):
+            idx.put(b"key%d" % i, i)
+            assert idx.bucket_load(b"key1") == i
+
+    def test_update_does_not_grow_the_chain(self):
+        idx = HashIndex(1)
+        for _ in range(10):
+            idx.put(b"a", 1)
+        assert idx.bucket_load(b"a") == 1
+        assert len(idx) == 1
+
+    def test_delete_shrinks_the_chain(self):
+        idx = HashIndex(1)
+        for i in range(8):
+            idx.put(b"key%d" % i, i)
+        for i in range(4):
+            idx.delete(b"key%d" % i)
+        assert idx.bucket_load(b"key7") == 4
+        assert len(idx) == 4
+
+    def test_probe_depth_feeds_service_time(self):
+        # The factory charges probe_ns per chain slot, so a deep bucket
+        # makes the *same* op slower -- the store state is observable in
+        # the service model.
+        from repro.kvs.handlers import MicaServiceModel
+        from repro.workload.request import RequestKind
+
+        model = MicaServiceModel.nanorpc()
+        shallow = model.service_ns(RequestKind.GET, 1)
+        deep = model.service_ns(RequestKind.GET, 20)
+        assert deep == shallow + 19 * model.probe_ns
+
+    def test_eviction_leaves_chain_long_until_get_heals_it(self):
+        # Log eviction does not touch the index: the dangling entry
+        # keeps the probe deep.  The next GET detects the dangle
+        # (offset-window check), deletes it, and the chain shrinks.
+        size = record_size(b"kkkk", b"vvvv")
+        part = MicaPartition(0, n_buckets=1, log_bytes=size * 2)
+        keys = [b"k%03d" % i for i in range(4)]
+        for key in keys:
+            part.set(key, b"vvvv")
+        assert part.log.evictions == 2
+        assert part.index.bucket_load(keys[0]) == 4  # dangles included
+        assert part.get(keys[0]) is None
+        assert part.index.bucket_load(keys[-1]) == 3  # healed
+        assert part.stats.misses == 1
+
+    def test_healed_entry_is_gone_not_respawned(self):
+        size = record_size(b"kkkk", b"vvvv")
+        part = MicaPartition(0, n_buckets=1, log_bytes=size * 2)
+        keys = [b"k%03d" % i for i in range(3)]
+        for key in keys:
+            part.set(key, b"vvvv")
+        assert part.get(keys[0]) is None
+        assert part.get(keys[0]) is None  # still a miss, no re-insert
+        assert part.stats.misses == 2
+        assert len(part.index) == 2
+
+
+class TestLogWraparound:
+    def test_one_big_append_evicts_many_small_records(self):
+        small = record_size(b"k", b"v")
+        log = CircularLog(small * 8)
+        for _ in range(8):
+            log.append(b"k", b"v")
+        assert log.evictions == 0
+        big_value = b"x" * (small * 4 - RECORD_HEADER_BYTES - 1)
+        log.append(b"b", big_value)
+        assert log.evictions == 4
+        assert log.live_bytes <= log.capacity_bytes
+
+    def test_live_bytes_exact_across_many_wrap_cycles(self):
+        size = record_size(b"kk", b"vv")
+        log = CircularLog(size * 3 + 1)
+        for i in range(100):
+            log.append(b"kk", b"vv")
+            assert log.live_bytes == size * min(i + 1, 3)
+        assert log.appends == 100
+        assert log.evictions == 97
+        assert log.live_records == 3
+
+    def test_tail_skips_offset_gaps(self):
+        # Offsets advance by record size, so eviction leaves gaps the
+        # tail pointer must walk over; mixing record sizes exercises
+        # the skip loop.
+        log = CircularLog(256)
+        for i in range(50):
+            log.append(b"k", b"v" * (1 + (i % 7) * 5))
+        assert log.evictions > 0
+        assert log.live_bytes <= 256
+        assert log.live_bytes == sum(
+            record.size for record in log._records.values()
+        )
+
+    def test_record_exactly_at_capacity_fits_alone(self):
+        value = b"v" * 100
+        log = CircularLog(record_size(b"k", value))
+        first = log.append(b"k", value)
+        assert log.utilization == 1.0
+        second = log.append(b"k", value)
+        assert log.read(first.offset) is None
+        assert log.read(second.offset) is not None
+        assert log.evictions == 1
+
+    def test_evicted_offset_never_resurrects(self):
+        size = record_size()
+        log = CircularLog(size * 2)
+        first = log.append(b"k", b"v")
+        for _ in range(5):
+            log.append(b"k", b"v")
+        assert not log.is_live(first.offset)
+        assert log.read(first.offset) is None
+
+
+class TestDedupWindowExpiry:
+    def test_duplicate_does_not_refresh_fifo_position(self):
+        # Strict FIFO on first service: re-observing id 0 must not
+        # save it from expiry when ids 1..3 push the window.
+        detector = DuplicateDetector(window=3)
+        for i in range(3):
+            detector.observe(i)
+        assert detector.observe(0)  # duplicate, position unchanged
+        detector.observe(3)  # evicts 0, not 1
+        assert not detector.seen(0)
+        assert detector.seen(1)
+        assert detector.expired == 1
+
+    def test_expired_duplicate_is_served_again_as_unique(self):
+        detector = DuplicateDetector(window=2)
+        detector.observe(7)
+        detector.observe(8)
+        detector.observe(9)  # 7 expires
+        assert not detector.observe(7)  # undetected: counted unique
+        assert detector.unique == 4
+        assert detector.duplicates == 0
+        assert detector.expired == 2  # 7 once, then 8
+
+    def test_window_of_one_remembers_only_the_last_id(self):
+        detector = DuplicateDetector(window=1)
+        assert not detector.observe(1)
+        assert detector.observe(1)
+        assert not detector.observe(2)
+        assert not detector.seen(1)
+        assert detector.tracked == 1
+
+    def test_tracked_never_exceeds_window(self):
+        detector = DuplicateDetector(window=5)
+        for i in range(100):
+            detector.observe(i)
+            assert detector.tracked <= 5
+        assert detector.expired == 95
+
+    def test_unbounded_default_never_expires(self):
+        detector = DuplicateDetector()
+        for i in range(1_000):
+            detector.observe(i)
+        assert detector.tracked == 1_000
+        assert detector.expired == 0
+        assert detector.observe(0)  # ancient id still detected
+
+    def test_expired_counter_surfaces_in_registry(self):
+        registry = MetricRegistry()
+        detector = DuplicateDetector(registry=registry, window=2)
+        for i in range(4):
+            detector.observe(i)
+        snapshot = registry.snapshot("kvs.dedup")
+        assert snapshot["kvs.dedup.expired"] == 2
+        assert snapshot["kvs.dedup.unique"] == 4
+        assert detector.expired == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            DuplicateDetector(window=0)
+        with pytest.raises(ValueError):
+            DuplicateDetector(window=-3)

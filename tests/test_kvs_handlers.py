@@ -55,9 +55,97 @@ class TestServiceModel:
             + 0.005 * model.scan_ns
         )
 
+    def test_mean_service_closed_form_with_deletes(self):
+        model = MicaServiceModel.nanorpc()
+        mean = model.mean_service_ns(
+            get_fraction=0.5, scan_fraction=0.005, delete_fraction=0.2
+        )
+        assert mean == pytest.approx(
+            0.795 * (0.5 * (40 + 15 + 2) + 0.5 * (40 + 10 + 2))
+            + 0.005 * model.scan_ns
+            + 0.2 * (40 + 5 + 2)
+        )
+
+    def test_mean_no_longer_ignores_deletes(self):
+        # Regression: the closed form used to drop delete_fraction
+        # entirely, over-predicting the mean (DELETEs are the cheapest
+        # op).
+        model = MicaServiceModel.nanorpc()
+        with_deletes = model.mean_service_ns(0.5, 0.0, delete_fraction=0.3)
+        without = model.mean_service_ns(0.5, 0.0)
+        assert with_deletes < without
+
+    def test_mean_no_longer_hardcodes_probe_depth(self):
+        # Regression: the closed form used to assume probe depth 1; a
+        # loaded store probes deeper and every non-SCAN op pays for it.
+        model = MicaServiceModel.nanorpc()
+        shallow = model.mean_service_ns(0.5, 0.0, probe_depth=1.0)
+        deep = model.mean_service_ns(0.5, 0.0, probe_depth=3.0)
+        assert deep == pytest.approx(shallow + 2.0 * model.probe_ns)
+
     def test_mean_validation(self):
         with pytest.raises(ValueError):
             MicaServiceModel.nanorpc().mean_service_ns(1.5, 0.0)
+        with pytest.raises(ValueError):
+            MicaServiceModel.nanorpc().mean_service_ns(0.5, 0.0, -0.1)
+        with pytest.raises(ValueError):
+            MicaServiceModel.nanorpc().mean_service_ns(
+                0.5, 0.6, delete_fraction=0.6
+            )
+        with pytest.raises(ValueError):
+            MicaServiceModel.nanorpc().mean_service_ns(
+                0.5, 0.0, probe_depth=-1.0
+            )
+
+
+class TestAnalyticVsSimulatedMean:
+    """The closed form must track what the factory actually charges:
+    draw requests, measure the empirical mean handler time, and compare
+    against ``mean_service_ns`` fed the store's *measured* mean probe
+    depth.  Service time is linear in probe depth and the key draw is
+    independent of the kind draw, so per-kind the match is exact."""
+
+    N_DRAWS = 2_000
+
+    def _empirical(self, dataset, **mix):
+        workload = make_workload(dataset, mode="erew", **mix)
+        services, probes = [], []
+        store = dataset.store
+        for i in range(self.N_DRAWS):
+            r = make_request(req_id=i)
+            workload.request_factory(r)
+            services.append(r.service_time)
+            owner = store.owner_of(r.key)
+            probes.append(store.partitions[owner].index.bucket_load(r.key))
+        return sum(services) / len(services), sum(probes) / len(probes)
+
+    @pytest.mark.parametrize("mix", [
+        dict(get_fraction=1.0, scan_fraction=0.0),                    # GET
+        dict(get_fraction=0.0, scan_fraction=0.0),                    # SET
+        dict(get_fraction=0.0, scan_fraction=0.0, delete_fraction=1.0),
+        dict(get_fraction=0.0, scan_fraction=1.0),                    # SCAN
+    ])
+    def test_pure_mix_matches_exactly(self, dataset, mix):
+        mean, probe = self._empirical(dataset, **mix)
+        model = MicaServiceModel.nanorpc()
+        assert mean == pytest.approx(model.mean_service_ns(
+            mix.get("get_fraction", 0.5),
+            mix.get("scan_fraction", 0.0),
+            delete_fraction=mix.get("delete_fraction", 0.0),
+            probe_depth=probe,
+        ))
+
+    def test_four_kind_mix_matches_statistically(self, dataset):
+        mix = dict(get_fraction=0.5, scan_fraction=0.01,
+                   delete_fraction=0.2)
+        mean, probe = self._empirical(dataset, **mix)
+        model = MicaServiceModel.nanorpc()
+        analytic = model.mean_service_ns(
+            0.5, 0.01, delete_fraction=0.2, probe_depth=probe
+        )
+        # The 50-us SCAN tail dominates the sampling noise of a finite
+        # draw; the run is seed-deterministic, measured within ~5%.
+        assert mean == pytest.approx(analytic, rel=0.15)
 
 
 class TestWorkloadFactory:
